@@ -1,0 +1,101 @@
+// Command paper regenerates the evaluation tables and figures of
+// "Friends, not Foes" (SIGCOMM 2014): for every figure it runs the
+// corresponding protocols across the load sweep on the corresponding
+// scenario and prints the same series the paper plots.
+//
+// Examples:
+//
+//	paper -list
+//	paper -fig 9a
+//	paper -fig 10c -flows 4000
+//	paper -all -flows 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"pase"
+)
+
+func main() {
+	var (
+		figID = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing)")
+		all   = flag.Bool("all", false, "regenerate every figure")
+		list  = flag.Bool("list", false, "list the available figures")
+		flows = flag.Int("flows", 2000, "foreground flows per simulation point")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		seeds = flag.Int("seeds", 1, "average each sweep point over this many seeds")
+		loads = flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.5,0.8")
+		out   = flag.String("out", "", "also write each figure as TSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range pase.ListFigures() {
+			fmt.Printf("%-8s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+	}
+	if *loads != "" {
+		for _, s := range strings.Split(*loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paper: bad load %q: %v\n", s, err)
+				os.Exit(1)
+			}
+			opts.Loads = append(opts.Loads, v)
+		}
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, f := range pase.ListFigures() {
+			ids = append(ids, f.ID)
+		}
+	case *figID != "":
+		ids = []string{*figID}
+	default:
+		fmt.Fprintln(os.Stderr, "paper: need -fig <id>, -all, or -list")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := pase.RunFigure(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		fmt.Printf("(%d flows/point, seed %d, took %v)\n\n", *flows, *seed, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			path := filepath.Join(*out, "fig"+strings.ReplaceAll(id, "/", "_")+".tsv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paper:", err)
+				os.Exit(1)
+			}
+			if err := fig.WriteTSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "paper:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command pasesim runs one simulation point — a (protocol, scenario,
+// load) triple — and prints the headline metrics the paper reports.
+//
+// Examples:
+//
+//	pasesim -protocol PASE -scenario left-right -load 0.7
+//	pasesim -protocol pFabric -scenario worker-agg -load 0.8 -cdf
+//	pasesim -protocol PASE -scenario left-right -load 0.9 -local-only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pase"
+)
+
+func main() {
+	var (
+		protocol  = flag.String("protocol", "PASE", "transport: DCTCP, D2TCP, L2DCT, pFabric, PDQ, PASE")
+		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed")
+		load      = flag.Float64("load", 0.7, "offered load in (0,1]")
+		flows     = flag.Int("flows", 2000, "number of foreground flows")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		cdf       = flag.Bool("cdf", false, "print the FCT CDF")
+		localOnly = flag.Bool("local-only", false, "PASE: arbitrate access links only")
+		noPrune   = flag.Bool("no-pruning", false, "PASE: disable early pruning")
+		noDeleg   = flag.Bool("no-delegation", false, "PASE: disable delegation")
+		numQueues = flag.Int("queues", 0, "PASE: switch priority queues (default 8)")
+		noRefRate = flag.Bool("no-refrate", false, "PASE: ignore the reference rate (PASE-DCTCP)")
+		noProbing = flag.Bool("no-probing", false, "PASE: disable probe-based recovery")
+		flowLog   = flag.String("flowlog", "", "write a per-flow TSV log to this file")
+	)
+	flag.Parse()
+
+	rep, err := pase.Simulate(pase.SimConfig{
+		IncludeFlowLog: *flowLog != "",
+		Protocol:       pase.Protocol(*protocol),
+		Scenario:       pase.Scenario(*scenario),
+		Load:           *load,
+		NumFlows:       *flows,
+		Seed:           *seed,
+		PASE: pase.PASEOptions{
+			LocalOnly:      *localOnly,
+			NoPruning:      *noPrune,
+			NoDelegation:   *noDeleg,
+			NumQueues:      *numQueues,
+			DisableRefRate: *noRefRate,
+			DisableProbing: *noProbing,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasesim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("protocol        %s\n", *protocol)
+	fmt.Printf("scenario        %s\n", *scenario)
+	fmt.Printf("offered load    %.0f%%\n", *load*100)
+	fmt.Printf("flows           %d (%d completed)\n", rep.Flows, rep.Completed)
+	fmt.Printf("AFCT            %v\n", rep.AFCT)
+	fmt.Printf("median FCT      %v\n", rep.P50)
+	fmt.Printf("99th-pct FCT    %v\n", rep.P99)
+	if rep.DeadlineFlows > 0 {
+		fmt.Printf("app throughput  %.3f (%d deadline flows)\n", rep.AppThroughput, rep.DeadlineFlows)
+	}
+	fmt.Printf("loss rate       %.2f%%\n", rep.LossRate*100)
+	fmt.Printf("retransmits     %d\n", rep.Retransmits)
+	fmt.Printf("timeouts        %d\n", rep.Timeouts)
+	if rep.CtrlMessages > 0 {
+		fmt.Printf("ctrl messages   %d\n", rep.CtrlMessages)
+	}
+	if *cdf {
+		fmt.Println("\nFCT CDF:")
+		for _, p := range rep.CDF {
+			fmt.Printf("%12v  %.4f\n", p.FCT, p.Fraction)
+		}
+	}
+	if *flowLog != "" {
+		if err := writeFlowLog(*flowLog, rep.FlowLog); err != nil {
+			fmt.Fprintln(os.Stderr, "pasesim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("flow log        %s (%d flows)\n", *flowLog, len(rep.FlowLog))
+	}
+}
+
+// writeFlowLog dumps per-flow outcomes as TSV.
+func writeFlowLog(path string, flows []pase.FlowOutcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "# id\tsize\tstart_us\tfct_us\tdeadline_us\tdone\tretx\ttimeouts")
+	for _, fl := range flows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
+			fl.ID, fl.Size, fl.Start.Microseconds(), fl.FCT.Microseconds(),
+			fl.Deadline.Microseconds(), fl.Done, fl.Retx, fl.Timeouts)
+	}
+	return w.Flush()
+}

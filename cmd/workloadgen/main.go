@@ -1,0 +1,82 @@
+// Command workloadgen emits synthetic data-center flow traces — the
+// same generators the simulator uses — as tab-separated values, for
+// inspection or reuse by external tools.
+//
+// Example:
+//
+//	workloadgen -pattern all-to-all -hosts 20 -load 0.6 -flows 100
+//	workloadgen -pattern left-right -hosts 160 -fanin 0 -deadlines
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pase/internal/netem"
+	"pase/internal/sim"
+	"pase/internal/workload"
+)
+
+func main() {
+	var (
+		pattern   = flag.String("pattern", "all-to-all", "all-to-all or left-right")
+		hosts     = flag.Int("hosts", 20, "number of hosts")
+		load      = flag.Float64("load", 0.6, "offered load in (0,1]")
+		flows     = flag.Int("flows", 100, "number of flows")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		minSize   = flag.Int64("min-size", 2000, "min flow size (bytes)")
+		maxSize   = flag.Int64("max-size", 198000, "max flow size (bytes)")
+		fanin     = flag.Int("fanin", 0, "workers per query (0 = independent flows)")
+		deadlines = flag.Bool("deadlines", false, "assign U[5,25]ms deadlines")
+		refGbps   = flag.Float64("ref-gbps", 0, "reference capacity (default hosts × 1 Gbps)")
+		bg        = flag.Int("background", 0, "long-lived background flows")
+	)
+	flag.Parse()
+
+	var pat workload.Pattern
+	switch *pattern {
+	case "all-to-all":
+		pat = workload.AllToAll{Hosts: workload.HostRange(0, *hosts)}
+	case "left-right":
+		half := *hosts / 2
+		pat = workload.LeftRight{
+			Left:  workload.HostRange(0, half),
+			Right: workload.HostRange(half, *hosts),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "workloadgen: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	ref := netem.BitRate(*refGbps * 1e9)
+	if ref == 0 {
+		ref = netem.BitRate(*hosts) * netem.Gbps
+	}
+	spec := workload.Spec{
+		Pattern:         pat,
+		Sizes:           workload.UniformSize{Min: *minSize, Max: *maxSize},
+		Load:            *load,
+		Reference:       ref,
+		NumFlows:        *flows,
+		Fanin:           *fanin,
+		BackgroundFlows: *bg,
+	}
+	if *deadlines {
+		spec.DeadlineMin = 5 * sim.Millisecond
+		spec.DeadlineMax = 25 * sim.Millisecond
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "# id\tsrc\tdst\tsize_bytes\tstart_us\tdeadline_us\tbackground")
+	for _, f := range spec.Generate(sim.NewRand(*seed), 1) {
+		deadline := int64(0)
+		if f.Deadline > 0 {
+			deadline = int64(f.Deadline) / 1000
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			f.ID, f.Src, f.Dst, f.Size, int64(f.Start)/1000, deadline, f.Background)
+	}
+}

@@ -1,0 +1,52 @@
+// Ablation tour: switch PASE's internal mechanisms off one at a time
+// and watch what each contributes — the reference rate (Fig 13a), the
+// control-plane optimizations (Fig 11), probing (§4.3.2), and the
+// number of switch priority queues (Fig 12b).
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pase"
+)
+
+type variant struct {
+	name string
+	cfg  pase.PASEOptions
+	scen pase.Scenario
+	load float64
+}
+
+func main() {
+	variants := []variant{
+		{"full PASE (left-right, 80%)", pase.PASEOptions{}, pase.ScenarioLeftRight, 0.8},
+		{"no pruning/delegation", pase.PASEOptions{NoPruning: true, NoDelegation: true}, pase.ScenarioLeftRight, 0.8},
+		{"arbitrate access links only", pase.PASEOptions{LocalOnly: true}, pase.ScenarioLeftRight, 0.8},
+		{"3 priority queues", pase.PASEOptions{NumQueues: 3}, pase.ScenarioLeftRight, 0.8},
+		{"full PASE (rack, 40%)", pase.PASEOptions{}, pase.ScenarioIntraRackLarge, 0.4},
+		{"no reference rate (PASE-DCTCP)", pase.PASEOptions{DisableRefRate: true}, pase.ScenarioIntraRackLarge, 0.4},
+		{"full PASE (fan-in, 90%)", pase.PASEOptions{}, pase.ScenarioWorkerAgg, 0.9},
+		{"no probing", pase.PASEOptions{DisableProbing: true}, pase.ScenarioWorkerAgg, 0.9},
+		{"task-aware (FIFO across tasks)", pase.PASEOptions{TaskAware: true}, pase.ScenarioWorkerAgg, 0.9},
+	}
+
+	fmt.Printf("%-34s %12s %12s %10s\n", "variant", "AFCT", "p99 FCT", "ctrl msgs")
+	for _, v := range variants {
+		rep, err := pase.Simulate(pase.SimConfig{
+			Protocol: pase.ProtocolPASE,
+			Scenario: v.scen,
+			Load:     v.load,
+			NumFlows: 500,
+			Seed:     5,
+			PASE:     v.cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %12v %12v %10d\n",
+			v.name, rep.AFCT.Round(10_000), rep.P99.Round(10_000), rep.CtrlMessages)
+	}
+}

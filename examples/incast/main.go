@@ -1,0 +1,42 @@
+// Incast anatomy: the worker-aggregator scenario that motivates PASE's
+// synthesis argument. Every query triggers simultaneous responses from
+// the rack's workers to one aggregator. pFabric's line-rate start plus
+// switch-local dropping wastes upstream capacity on packets that die
+// at the aggregator's downlink (Figures 3 and 4 of the paper); PASE's
+// end-to-end arbitration throttles doomed flows at their sources.
+//
+//	go run ./examples/incast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pase"
+)
+
+func main() {
+	fmt.Println("Worker-aggregator fan-in (19 workers per query), 20-host rack")
+	fmt.Printf("%-8s %-9s %12s %12s %10s\n", "load", "protocol", "AFCT", "p99 FCT", "loss")
+
+	for _, load := range []float64{0.3, 0.6, 0.9} {
+		for _, p := range []pase.Protocol{pase.ProtocolPFabric, pase.ProtocolPASE} {
+			rep, err := pase.Simulate(pase.SimConfig{
+				Protocol: p,
+				Scenario: pase.ScenarioWorkerAgg,
+				Load:     load,
+				NumFlows: 800,
+				Seed:     7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8.0f%% %-9s %12v %12v %9.1f%%\n",
+				load*100, p, rep.AFCT.Round(10_000), rep.P99.Round(10_000), rep.LossRate*100)
+		}
+	}
+
+	fmt.Println("\npFabric sheds a third or more of its transmissions at high load;")
+	fmt.Println("PASE serializes the responses through arbitration and stays lossless,")
+	fmt.Println("overtaking pFabric's AFCT once the fabric is busy.")
+}

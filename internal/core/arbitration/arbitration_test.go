@@ -1,0 +1,341 @@
+package arbitration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+)
+
+func newArb(c netem.BitRate) (*sim.Engine, *Arbitrator) {
+	eng := sim.NewEngine()
+	a := NewArbitrator(0, c, 8, 40*netem.Mbps, 300*sim.Microsecond, eng.Now)
+	return eng, a
+}
+
+func TestSingleFlowTopQueueFullRate(t *testing.T) {
+	_, a := newArb(netem.Gbps)
+	d := a.Update(1, 1000, netem.Gbps)
+	if d.Queue != 0 || d.Rref != netem.Gbps {
+		t.Fatalf("lone flow got %+v, want top queue at line rate", d)
+	}
+}
+
+func TestDemandBelowSpare(t *testing.T) {
+	_, a := newArb(netem.Gbps)
+	d := a.Update(1, 1000, 200*netem.Mbps)
+	if d.Queue != 0 || d.Rref != 200*netem.Mbps {
+		t.Fatalf("got %+v, want top queue at demand", d)
+	}
+}
+
+func TestSecondFlowGetsLeftover(t *testing.T) {
+	_, a := newArb(netem.Gbps)
+	a.Update(1, 1000, 600*netem.Mbps)
+	d := a.Update(2, 2000, netem.Gbps)
+	if d.Queue != 0 || d.Rref != 400*netem.Mbps {
+		t.Fatalf("second flow got %+v, want top queue at 400Mbps", d)
+	}
+}
+
+func TestSaturatedFlowsDropToLowerQueues(t *testing.T) {
+	_, a := newArb(netem.Gbps)
+	// Ten flows each demanding the full link, in key order: flow k
+	// sees ADH = k × C and must map to 0-based queue min(k, 7).
+	for i := 0; i < 10; i++ {
+		a.Update(pkt.FlowID(i+1), int64(i), netem.Gbps)
+	}
+	for i := 0; i < 10; i++ {
+		d, ok := a.Lookup(pkt.FlowID(i + 1))
+		if !ok {
+			t.Fatalf("flow %d missing", i+1)
+		}
+		want := int8(i)
+		if i > 7 {
+			want = 7
+		}
+		if d.Queue != want {
+			t.Fatalf("flow %d queue = %d, want %d", i+1, d.Queue, want)
+		}
+		if i == 0 && d.Rref != netem.Gbps {
+			t.Fatalf("top flow rref = %v", d.Rref)
+		}
+		if i > 0 && d.Rref != 40*netem.Mbps {
+			t.Fatalf("queued flow %d rref = %v, want base rate", i+1, d.Rref)
+		}
+	}
+}
+
+func TestRemovePromotesSuccessor(t *testing.T) {
+	_, a := newArb(netem.Gbps)
+	a.Update(1, 10, netem.Gbps)
+	a.Update(2, 20, netem.Gbps)
+	if d, _ := a.Lookup(2); d.Queue != 1 {
+		t.Fatalf("flow 2 should start in queue 1, got %d", d.Queue)
+	}
+	a.Remove(1)
+	if d, _ := a.Lookup(2); d.Queue != 0 || d.Rref != netem.Gbps {
+		t.Fatalf("after removal flow 2 got %+v, want top/line-rate", d)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	eng, a := newArb(netem.Gbps)
+	a.Update(1, 10, netem.Gbps)
+	a.Update(2, 20, netem.Gbps)
+	// Advance past the lease (8 epochs) refreshing only flow 2.
+	for i := 0; i < 12; i++ {
+		eng.Schedule(300*sim.Microsecond, func() { a.Update(2, 20, netem.Gbps) })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Flows() != 1 {
+		t.Fatalf("flows = %d, want 1 (flow 1 lease-expired)", a.Flows())
+	}
+	if d, _ := a.Lookup(2); d.Queue != 0 {
+		t.Fatalf("survivor queue = %d, want 0", d.Queue)
+	}
+}
+
+func TestDeadlineKeyPrecedesSizeKey(t *testing.T) {
+	_, a := newArb(netem.Gbps)
+	// Key encoding puts deadlines (ns timestamps) below size+2^50.
+	deadlineKey := int64(20 * sim.Millisecond)
+	sizeKey := int64(2000) + (1 << 50)
+	a.Update(1, sizeKey, netem.Gbps)
+	d := a.Update(2, deadlineKey, netem.Gbps)
+	if d.Queue != 0 {
+		t.Fatalf("deadline flow queue = %d, want 0", d.Queue)
+	}
+	if d, _ := a.Lookup(1); d.Queue != 1 {
+		t.Fatalf("size flow queue = %d, want 1", d.Queue)
+	}
+}
+
+func TestSetCapacityRecomputes(t *testing.T) {
+	_, a := newArb(netem.Gbps)
+	a.Update(1, 10, 600*netem.Mbps)
+	a.Update(2, 20, 600*netem.Mbps)
+	if d, _ := a.Lookup(2); d.Queue != 0 {
+		t.Fatalf("flow 2 queue = %d, want 0 (600+600 > C but ADH=600 < C)", d.Queue)
+	}
+	a.SetCapacity(500 * netem.Mbps)
+	if d, _ := a.Lookup(2); d.Queue != 1 {
+		t.Fatalf("after shrink flow 2 queue = %d, want 1", d.Queue)
+	}
+}
+
+// Property: queues are monotone in key order and rref of the top flow
+// never exceeds capacity or demand.
+func TestArbitratorMonotonicity(t *testing.T) {
+	f := func(demandsRaw []uint32) bool {
+		if len(demandsRaw) == 0 || len(demandsRaw) > 64 {
+			return true
+		}
+		_, a := newArb(netem.Gbps)
+		for i, raw := range demandsRaw {
+			demand := netem.BitRate(raw%1000+1) * netem.Mbps
+			a.Update(pkt.FlowID(i+1), int64(i), demand)
+		}
+		prevQ := int8(0)
+		for i := range demandsRaw {
+			d, ok := a.Lookup(pkt.FlowID(i + 1))
+			if !ok {
+				return false
+			}
+			if d.Queue < prevQ {
+				return false
+			}
+			prevQ = d.Queue
+			if d.Rref > netem.Gbps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- System-level tests -------------------------------------------------
+
+func prioQ(topology.QueueKind) netem.Queue { return netem.NewPrio(8, 500, 65) }
+
+func buildSys(t *testing.T, p Params) (*sim.Engine, *topology.Network, *System) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := topology.Build(eng, topology.Baseline(prioQ))
+	return eng, net, NewSystem(net, p)
+}
+
+func TestClientIntraRackLocalOnlyMessages(t *testing.T) {
+	eng, _, sys := buildSys(t, DefaultParams())
+	c := sys.NewClient(1, 0, 1) // same rack
+	c.Refresh(1000+(1<<50), netem.Gbps)
+	if err := eng.RunUntil(sim.Time(sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ready() {
+		t.Fatal("intra-rack client should be ready immediately")
+	}
+	if sys.Stats.Messages != 0 {
+		t.Fatalf("intra-rack arbitration sent %d messages, want 0", sys.Stats.Messages)
+	}
+	d := c.Combined()
+	if d.Queue != 0 || d.Rref != netem.Gbps {
+		t.Fatalf("combined = %+v", d)
+	}
+}
+
+func TestClientCrossCoreDelegationMessages(t *testing.T) {
+	p := DefaultParams()
+	eng, _, sys := buildSys(t, p)
+	c := sys.NewClient(1, 0, 159) // cross-core
+	c.Refresh(1000+(1<<50), netem.Gbps)
+	if err := eng.RunUntil(sim.Time(250 * sim.Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Delegation: each half goes host->ToR and back = 2 messages, so 4
+	// total (delegation share-refresh messages excluded by the horizon).
+	if sys.Stats.Messages != 4 {
+		t.Fatalf("messages = %d, want 4 with delegation", sys.Stats.Messages)
+	}
+	if !c.Ready() {
+		t.Fatal("client should be ready after ToR response")
+	}
+}
+
+func TestClientCrossCoreNoDelegationMessages(t *testing.T) {
+	p := DefaultParams()
+	p.Delegation = false
+	eng, _, sys := buildSys(t, p)
+	c := sys.NewClient(1, 0, 159)
+	c.Refresh(1000+(1<<50), netem.Gbps)
+	if err := eng.RunUntil(sim.Time(250 * sim.Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Each half: host->ToR->agg and back = 4 messages; 8 total.
+	if sys.Stats.Messages != 8 {
+		t.Fatalf("messages = %d, want 8 without delegation", sys.Stats.Messages)
+	}
+}
+
+func TestEarlyPruningStopsPropagation(t *testing.T) {
+	p := DefaultParams()
+	p.Delegation = false
+	eng, _, sys := buildSys(t, p)
+	// Saturate host 0's uplink arbitrator so later flows are pruned.
+	// Host 0's uplink is its first up link.
+	for i := 0; i < 20; i++ {
+		c := sys.NewClient(pkt.FlowID(i+1), 0, 159)
+		c.Refresh(int64(i)+(1<<50), netem.Gbps)
+	}
+	if err := eng.RunUntil(sim.Time(sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats.Pruned == 0 {
+		t.Fatal("expected some refreshes to be pruned at the host level")
+	}
+	// Pruned flows must still have a (local) decision.
+	if sys.Stats.Messages >= 20*8 {
+		t.Fatalf("messages = %d, pruning saved nothing", sys.Stats.Messages)
+	}
+}
+
+func TestLocalOnlyNoMessages(t *testing.T) {
+	p := DefaultParams()
+	p.LocalOnly = true
+	p.Delegation = false
+	eng, _, sys := buildSys(t, p)
+	c := sys.NewClient(1, 0, 159)
+	c.Refresh(1000+(1<<50), netem.Gbps)
+	if err := eng.RunUntil(sim.Time(sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats.Messages != 0 {
+		t.Fatalf("local-only arbitration sent %d messages", sys.Stats.Messages)
+	}
+	if !c.Ready() {
+		t.Fatal("local-only client must be ready")
+	}
+}
+
+func TestDelegatedShareTracksDemand(t *testing.T) {
+	p := DefaultParams()
+	eng, net, sys := buildSys(t, p)
+	// Find the agg0->core up link.
+	var aggCore *topology.Link
+	for _, l := range net.Links {
+		if l.Level == topology.LevelAggCore && l.Up && net.AggOf(0) == 0 && l.From == net.Aggs[0] {
+			aggCore = l
+			break
+		}
+	}
+	if aggCore == nil {
+		t.Fatal("agg-core link not found")
+	}
+	va0 := sys.VirtualArbitrator(aggCore.ID, 0) // rack 0's slice
+	va1 := sys.VirtualArbitrator(aggCore.ID, 1)
+	if va0 == nil || va1 == nil {
+		t.Fatal("virtual arbitrators missing")
+	}
+	// Only rack 0 has top-queue demand; after a share refresh its
+	// slice should dominate.
+	va0.Update(1, 100, 8*netem.Gbps)
+	if err := eng.RunUntil(sim.Time(2 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if va0.Capacity() <= va1.Capacity() {
+		t.Fatalf("rack0 slice %v should exceed idle rack1 slice %v", va0.Capacity(), va1.Capacity())
+	}
+	if va0.Capacity()+va1.Capacity() > 10*netem.Gbps+netem.Gbps {
+		t.Fatalf("slices exceed physical capacity: %v + %v", va0.Capacity(), va1.Capacity())
+	}
+}
+
+func TestReleaseRemovesEverywhere(t *testing.T) {
+	p := DefaultParams()
+	p.EarlyPruning = false
+	eng, net, sys := buildSys(t, p)
+	c := sys.NewClient(1, 0, 159)
+	c.Refresh(1000+(1<<50), netem.Gbps)
+	if err := eng.RunUntil(sim.Time(sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	up := net.PathUp(0, 159)
+	if sys.Arbitrator(up[0].ID).Flows() != 1 {
+		t.Fatal("flow not registered at host uplink")
+	}
+	c.Release()
+	for _, l := range up {
+		if a := sys.Arbitrator(l.ID); a.Flows() != 0 {
+			t.Fatalf("link %v still has %d flows after release", l, a.Flows())
+		}
+	}
+	// Double release is a no-op.
+	c.Release()
+}
+
+func TestCombinedTakesWorstQueueAndMinRate(t *testing.T) {
+	eng, _, sys := buildSys(t, DefaultParams())
+	// Saturate the destination downlink with a higher-priority flow
+	// from another sender.
+	other := sys.NewClient(9, 2, 1)
+	other.Refresh(1+(1<<50), netem.Gbps)
+	c := sys.NewClient(1, 0, 1)
+	c.Refresh(1000+(1<<50), netem.Gbps)
+	if err := eng.RunUntil(sim.Time(sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Combined()
+	// Uplink is free (queue 0) but the shared downlink has flow 9
+	// ahead: combined queue must be > 0.
+	if d.Queue == 0 {
+		t.Fatalf("combined queue = 0, downlink contention ignored")
+	}
+}

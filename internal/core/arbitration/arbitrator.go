@@ -1,0 +1,214 @@
+// Package arbitration implements PASE's scalable control plane: one
+// arbitrator per directed link runs Algorithm 1 of the paper, mapping
+// each flow to a priority queue and a reference rate from the demands
+// of the flows ahead of it; a per-fabric System organizes arbitrators
+// into the bottom-up hierarchy with the paper's two overhead
+// optimizations, early pruning and delegation.
+package arbitration
+
+import (
+	"sort"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// Decision is the output of Algorithm 1 for one flow on one link.
+type Decision struct {
+	// Queue is the priority class (0 = highest, NumQueues-1 = bottom).
+	Queue int8
+	// Rref is the reference rate.
+	Rref netem.BitRate
+}
+
+// entry is one flow's state at an arbitrator.
+type entry struct {
+	flow pkt.FlowID
+	// key is the scheduling criterion: remaining size for SJF or the
+	// absolute deadline for EDF. Lower is more urgent.
+	key int64
+	// tieBreak orders equal keys deterministically.
+	tieBreak pkt.FlowID
+	demand   netem.BitRate
+	// lease is the time after which the entry is garbage; refreshes
+	// extend it.
+	lease sim.Time
+
+	decision Decision
+}
+
+// Arbitrator runs Algorithm 1 for one directed link. To keep the cost
+// of arbitration linear in the number of flows rather than quadratic,
+// allocations for all registered flows are recomputed in one sorted
+// pass per epoch (the refresh interval); lookups between epochs serve
+// the cached decision. Newly registered flows get an immediate
+// incremental computation so flow setup never waits for an epoch edge.
+type Arbitrator struct {
+	// LinkID identifies the (possibly virtual) link this arbitrator
+	// owns.
+	LinkID int
+
+	capacity  netem.BitRate
+	numQueues int
+	baseRate  netem.BitRate
+	leaseDur  sim.Duration
+
+	clock func() sim.Time
+
+	entries map[pkt.FlowID]*entry
+	sorted  []*entry // re-sorted each epoch
+	epoch   sim.Time // when the current allocation pass happened
+	period  sim.Duration
+}
+
+// NewArbitrator builds an arbitrator for a link of the given capacity.
+// period is the epoch length (typically one fabric RTT); baseRate is
+// the one-packet-per-RTT floor handed to flows that do not fit the top
+// queue.
+func NewArbitrator(linkID int, capacity netem.BitRate, numQueues int, baseRate netem.BitRate, period sim.Duration, clock func() sim.Time) *Arbitrator {
+	if numQueues < 2 {
+		panic("arbitration: need at least two priority queues")
+	}
+	return &Arbitrator{
+		LinkID:    linkID,
+		capacity:  capacity,
+		numQueues: numQueues,
+		baseRate:  baseRate,
+		leaseDur:  8 * period,
+		clock:     clock,
+		entries:   make(map[pkt.FlowID]*entry),
+		period:    period,
+	}
+}
+
+// SetCapacity updates the link capacity (delegation resizes virtual
+// links at runtime).
+func (a *Arbitrator) SetCapacity(c netem.BitRate) {
+	if c < a.baseRate {
+		c = a.baseRate
+	}
+	if c != a.capacity {
+		a.capacity = c
+		a.epoch = -1 // force recompute on next access
+	}
+}
+
+// Capacity returns the current (virtual) link capacity.
+func (a *Arbitrator) Capacity() netem.BitRate { return a.capacity }
+
+// Flows returns the number of live registered flows.
+func (a *Arbitrator) Flows() int { return len(a.entries) }
+
+// Update registers or refreshes a flow and returns its decision
+// (Algorithm 1). key is the scheduling criterion (remaining size or
+// deadline); demand is the rate the sender could use.
+func (a *Arbitrator) Update(flow pkt.FlowID, key int64, demand netem.BitRate) Decision {
+	now := a.clock()
+	e, ok := a.entries[flow]
+	if !ok {
+		e = &entry{flow: flow, tieBreak: flow}
+		a.entries[flow] = e
+	}
+	e.key = key
+	e.demand = demand
+	e.lease = now.Add(a.leaseDur)
+	// A registration leaves len(sorted) != len(entries), which forces
+	// maybeRecompute to run a full pass immediately — newcomers never
+	// wait for an epoch edge.
+	a.maybeRecompute(now)
+	return e.decision
+}
+
+// Lookup returns the cached decision for a flow without refreshing it.
+func (a *Arbitrator) Lookup(flow pkt.FlowID) (Decision, bool) {
+	e, ok := a.entries[flow]
+	if !ok {
+		return Decision{}, false
+	}
+	a.maybeRecompute(a.clock())
+	return e.decision, true
+}
+
+// Remove deregisters a finished flow.
+func (a *Arbitrator) Remove(flow pkt.FlowID) {
+	if _, ok := a.entries[flow]; !ok {
+		return
+	}
+	delete(a.entries, flow)
+	a.epoch = -1 // re-allocate promptly so successors move up
+}
+
+// AggregateTopDemand sums the demands of flows currently mapped to
+// queues 0..maxQueue; delegation uses it to size virtual links.
+func (a *Arbitrator) AggregateTopDemand(maxQueue int8) netem.BitRate {
+	a.maybeRecompute(a.clock())
+	var sum netem.BitRate
+	for _, e := range a.entries {
+		if e.decision.Queue <= maxQueue {
+			sum += e.demand
+		}
+	}
+	return sum
+}
+
+func (a *Arbitrator) less(x, y *entry) bool {
+	if x.key != y.key {
+		return x.key < y.key
+	}
+	return x.tieBreak < y.tieBreak
+}
+
+// maybeRecompute refreshes every cached decision once per epoch.
+func (a *Arbitrator) maybeRecompute(now sim.Time) {
+	if a.epoch >= 0 && now < a.epoch.Add(a.period) && len(a.sorted) == len(a.entries) {
+		return
+	}
+	a.epoch = now
+
+	// Drop expired entries (flows that died without releasing).
+	a.sorted = a.sorted[:0]
+	for id, e := range a.entries {
+		if e.lease < now {
+			delete(a.entries, id)
+			continue
+		}
+		a.sorted = append(a.sorted, e)
+	}
+	sort.Slice(a.sorted, func(i, j int) bool { return a.less(a.sorted[i], a.sorted[j]) })
+
+	// Algorithm 1, one pass: ADH accumulates the demand ahead of each
+	// flow.
+	var adh netem.BitRate
+	for _, e := range a.sorted {
+		e.decision = a.decide(adh, e.demand)
+		adh += e.demand
+	}
+}
+
+// decide evaluates Algorithm 1 for a flow with the given aggregate
+// higher-priority demand.
+func (a *Arbitrator) decide(adh, demand netem.BitRate) Decision {
+	var d Decision
+	if adh < a.capacity {
+		spare := a.capacity - adh
+		if demand < spare {
+			d.Rref = demand
+		} else {
+			d.Rref = spare
+		}
+		d.Queue = 0
+		return d
+	}
+	d.Rref = a.baseRate
+	// Each intermediate queue accommodates one link-capacity worth of
+	// aggregate demand (ADH in [qC, (q+1)C) maps to 0-based queue q),
+	// and the bottom queue absorbs all remaining flows — the 0-based
+	// reading of the paper's PrioQue = ceil(ADH/C) clamp.
+	q := int(adh / a.capacity)
+	if q > a.numQueues-1 {
+		q = a.numQueues - 1
+	}
+	d.Queue = int8(q)
+	return d
+}

@@ -1,0 +1,38 @@
+package arbitration
+
+import (
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// BenchmarkArbitratorUpdate measures Algorithm 1's cost per flow
+// refresh with a few hundred live flows — the hot path of the control
+// plane at high load.
+func BenchmarkArbitratorUpdate(b *testing.B) {
+	eng := sim.NewEngine()
+	a := NewArbitrator(0, 10*netem.Gbps, 8, 40*netem.Mbps, 300*sim.Microsecond, eng.Now)
+	const live = 300
+	for i := 0; i < live; i++ {
+		a.Update(pkt.FlowID(i), int64(i*1000), netem.Gbps)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(pkt.FlowID(i%live), int64(i%live*1000+i%7), netem.Gbps)
+	}
+}
+
+func BenchmarkArbitratorChurn(b *testing.B) {
+	eng := sim.NewEngine()
+	a := NewArbitrator(0, 10*netem.Gbps, 8, 40*netem.Mbps, 300*sim.Microsecond, eng.Now)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := pkt.FlowID(i)
+		a.Update(id, int64(i), netem.Gbps)
+		if i >= 64 {
+			a.Remove(id - 64)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package arbitration
+
+import (
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+)
+
+// Params configures the control plane.
+type Params struct {
+	// NumQueues is the number of switch priority queues (Table 3: 8).
+	NumQueues int
+	// EarlyPruning stops propagating a flow's arbitration upward once
+	// a lower-level arbitrator maps it below the top PruneQueues
+	// queues (the paper finds the top two a good balance).
+	EarlyPruning bool
+	PruneQueues  int8
+	// Delegation lets ToR-level arbitrators manage virtual slices of
+	// the agg-core links, cutting a hop off inter-rack arbitration.
+	Delegation bool
+	// LocalOnly restricts arbitration to the end hosts' own access
+	// links (the Figure 12a ablation).
+	LocalOnly bool
+	// Epoch is the arbitration recomputation period and the virtual
+	// link refresh interval; it should be on the order of the fabric
+	// RTT.
+	Epoch sim.Duration
+	// CtrlPerHop is the one-way latency of one control-message hop
+	// (propagation + serialization + processing).
+	CtrlPerHop sim.Duration
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		NumQueues:    8,
+		EarlyPruning: true,
+		PruneQueues:  2,
+		Delegation:   true,
+		LocalOnly:    false,
+		Epoch:        300 * sim.Microsecond,
+		CtrlPerHop:   30 * sim.Microsecond,
+	}
+}
+
+// Stats counts control-plane overhead.
+type Stats struct {
+	// Messages is the number of per-hop arbitration messages
+	// (requests, responses, releases and delegation updates).
+	Messages int64
+	// Bytes is Messages × the control message wire size.
+	Bytes int64
+	// Setups, Refreshes, Releases count client operations.
+	Setups    int64
+	Refreshes int64
+	Releases  int64
+	// Pruned counts refreshes stopped by early pruning before
+	// reaching the next level.
+	Pruned int64
+}
+
+// System is the fabric-wide arbitration control plane.
+type System struct {
+	P   Params
+	net *topology.Network
+	eng *sim.Engine
+
+	// arbs maps topology link ID -> arbitrator for flows that consult
+	// the real (non-delegated) link.
+	arbs map[int]*Arbitrator
+	// virt maps (physical agg-core link ID, rack) -> the delegated
+	// virtual-slice arbitrator owned by that rack's ToR arbitrator.
+	virt map[virtKey]*Arbitrator
+	// children maps a delegated physical link ID to its per-rack
+	// virtual arbitrators, for share refresh.
+	children map[int][]*Arbitrator
+
+	Stats Stats
+}
+
+type virtKey struct {
+	link int
+	rack int
+}
+
+// NewSystem builds arbitrators for every directed link of the fabric
+// and, when delegation is on, virtual-slice arbitrators for the
+// agg-core links.
+func NewSystem(net *topology.Network, p Params) *System {
+	if p.NumQueues < 2 {
+		panic("arbitration: NumQueues must be >= 2")
+	}
+	sys := &System{
+		P:        p,
+		net:      net,
+		eng:      net.Eng,
+		arbs:     make(map[int]*Arbitrator),
+		virt:     make(map[virtKey]*Arbitrator),
+		children: make(map[int][]*Arbitrator),
+	}
+	clock := sys.eng.Now
+	baseRate := func(sim.Duration) netem.BitRate {
+		return netem.BitRate(float64(pkt.MTU*8) / p.Epoch.Seconds())
+	}(p.Epoch)
+	for _, l := range net.Links {
+		sys.arbs[l.ID] = NewArbitrator(l.ID, l.Capacity(), p.NumQueues, baseRate, p.Epoch, clock)
+	}
+	if p.Delegation && len(net.Aggs) > 0 {
+		for _, l := range net.Links {
+			if l.Level != topology.LevelAggCore {
+				continue
+			}
+			racks := sys.racksUnderAggLink(l)
+			share := netem.BitRate(int64(l.Capacity()) / int64(len(racks)))
+			for _, rack := range racks {
+				va := NewArbitrator(-l.ID, share, p.NumQueues, baseRate, p.Epoch, clock)
+				sys.virt[virtKey{l.ID, rack}] = va
+				sys.children[l.ID] = append(sys.children[l.ID], va)
+			}
+		}
+		sys.scheduleShareRefresh()
+	}
+	return sys
+}
+
+// racksUnderAggLink lists the rack indices whose ToR arbitrators are
+// children of the given agg-core link.
+func (sys *System) racksUnderAggLink(l *topology.Link) []int {
+	var agg int
+	// Identify the aggregation switch on this link.
+	for i, a := range sys.net.Aggs {
+		if l.From == a || l.To == a {
+			agg = i
+			break
+		}
+	}
+	var racks []int
+	for r := 0; r < sys.net.Cfg.Racks; r++ {
+		if r/sys.net.Cfg.RacksPerAgg == agg {
+			racks = append(racks, r)
+		}
+	}
+	return racks
+}
+
+// scheduleShareRefresh periodically resizes delegated virtual links in
+// proportion to each child's top-queue demand, as §3.1.2 prescribes.
+func (sys *System) scheduleShareRefresh() {
+	sys.eng.Schedule(sys.P.Epoch, func() {
+		for linkID, kids := range sys.children {
+			// An idle delegation pair exchanges nothing.
+			busy := false
+			for _, va := range kids {
+				if va.Flows() > 0 {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				continue
+			}
+			capTotal := netem.BitRate(0)
+			for _, l := range sys.net.Links {
+				if l.ID == linkID {
+					capTotal = l.Capacity()
+					break
+				}
+			}
+			demands := make([]netem.BitRate, len(kids))
+			var sum netem.BitRate
+			for i, va := range kids {
+				d := va.AggregateTopDemand(sys.P.PruneQueues - 1)
+				demands[i] = d
+				sum += d
+			}
+			for i, va := range kids {
+				if sum == 0 {
+					va.SetCapacity(capTotal / netem.BitRate(len(kids)))
+				} else {
+					// Proportional share with a 10% floor so a quiet
+					// rack can restart quickly. Float math: the
+					// product of two multi-gigabit rates overflows
+					// int64.
+					share := netem.BitRate(float64(capTotal) * float64(demands[i]) / float64(sum))
+					floor := capTotal / netem.BitRate(10*len(kids))
+					if share < floor {
+						share = floor
+					}
+					va.SetCapacity(share)
+				}
+				// Child publishes aggregates, parent returns shares.
+				sys.countMessages(2)
+			}
+		}
+		sys.scheduleShareRefresh()
+	})
+}
+
+func (sys *System) countMessages(n int64) {
+	sys.Stats.Messages += n
+	sys.Stats.Bytes += n * pkt.CtrlSize
+}
+
+// Arbitrator exposes the per-link arbitrator (tests, inspection).
+func (sys *System) Arbitrator(linkID int) *Arbitrator { return sys.arbs[linkID] }
+
+// VirtualArbitrator exposes a delegated slice (tests).
+func (sys *System) VirtualArbitrator(linkID, rack int) *Arbitrator {
+	return sys.virt[virtKey{linkID, rack}]
+}
+
+// Client is the per-flow handle the PASE transport uses to obtain and
+// refresh its priority queue and reference rate.
+type Client struct {
+	sys  *System
+	flow pkt.FlowID
+	src  pkt.NodeID
+	dst  pkt.NodeID
+
+	upPath   []*topology.Link
+	downPath []*topology.Link
+
+	haveSrc, haveDst bool
+	srcHalf, dstHalf Decision
+
+	released bool
+	// OnUpdate is invoked whenever a half-result lands; the transport
+	// re-reads Combined.
+	OnUpdate func()
+}
+
+// NewClient creates the per-flow arbitration handle.
+func (sys *System) NewClient(flow pkt.FlowID, src, dst pkt.NodeID) *Client {
+	sys.Stats.Setups++
+	return &Client{
+		sys:      sys,
+		flow:     flow,
+		src:      src,
+		dst:      dst,
+		upPath:   sys.net.PathUpFlow(src, dst, flow),
+		downPath: sys.net.PathDownFlow(src, dst, flow),
+	}
+}
+
+// Ready reports whether at least the source half has answered; the
+// paper lets flows start on the child arbitrator's response without
+// waiting for the destination half.
+func (c *Client) Ready() bool { return c.haveSrc }
+
+// Combined returns the flow's current (queue, reference rate): the
+// lowest-priority queue and minimum rate over all arbitrated links.
+func (c *Client) Combined() Decision {
+	d := Decision{Queue: 0, Rref: netem.BitRate(1 << 62)}
+	merge := func(h Decision) {
+		if h.Queue > d.Queue {
+			d.Queue = h.Queue
+		}
+		if h.Rref < d.Rref {
+			d.Rref = h.Rref
+		}
+	}
+	if c.haveSrc {
+		merge(c.srcHalf)
+	}
+	if c.haveDst {
+		merge(c.dstHalf)
+	}
+	if !c.haveSrc && !c.haveDst {
+		return Decision{Queue: int8(c.sys.P.NumQueues - 1), Rref: 0}
+	}
+	return d
+}
+
+// Refresh re-arbitrates both halves of the path with the flow's
+// current criterion key and demand. Results arrive asynchronously
+// (control-plane latency) and trigger OnUpdate.
+func (c *Client) Refresh(key int64, demand netem.BitRate) {
+	if c.released {
+		return
+	}
+	c.sys.Stats.Refreshes++
+	c.refreshHalf(key, demand, true)
+	c.refreshHalf(key, demand, false)
+}
+
+// refreshHalf walks one half bottom-up, applying early pruning and
+// delegation, and schedules the result delivery after the modelled
+// control latency.
+func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
+	sys := c.sys
+	p := sys.P
+
+	// Bottom-up link order for this half.
+	var links []*topology.Link
+	if srcSide {
+		links = c.upPath
+	} else {
+		// downPath is top-down; walk it bottom-up.
+		links = make([]*topology.Link, len(c.downPath))
+		for i, l := range c.downPath {
+			links[len(c.downPath)-1-i] = l
+		}
+	}
+
+	leaf := c.src
+	if !srcSide {
+		leaf = c.dst
+	}
+	rack := sys.net.RackOf(leaf)
+
+	worst := Decision{Queue: 0, Rref: netem.BitRate(1 << 62)}
+	merge := func(h Decision) {
+		if h.Queue > worst.Queue {
+			worst.Queue = h.Queue
+		}
+		if h.Rref < worst.Rref {
+			worst.Rref = h.Rref
+		}
+	}
+
+	depth := 0 // how many hops up the arbitration traveled
+	pruned := false
+	for i, l := range links {
+		if i > 0 && p.LocalOnly {
+			break
+		}
+		if i > 0 && p.EarlyPruning && worst.Queue >= p.PruneQueues {
+			pruned = true
+			break
+		}
+		if p.Delegation && l.Level == topology.LevelAggCore {
+			// The ToR arbitrator (depth 1) owns a virtual slice; no
+			// extra hop.
+			va := sys.virt[virtKey{l.ID, rack}]
+			if va != nil {
+				merge(va.Update(c.flow, key, demand))
+				continue
+			}
+		}
+		if i > 0 {
+			depth = i // host->ToR is hop 1, ToR->agg hop 2
+		}
+		merge(sys.arbs[l.ID].Update(c.flow, key, demand))
+	}
+	if pruned {
+		sys.Stats.Pruned++
+	}
+	sys.countMessages(int64(2 * depth))
+
+	latency := sim.Duration(2*depth) * p.CtrlPerHop
+	if !srcSide {
+		// The destination half is initiated by the receiver after the
+		// setup reaches it and the result returns to the sender.
+		latency += sim.Duration(len(c.upPath)+len(c.downPath)) * sys.net.Cfg.LinkDelay * 2
+	}
+	result := worst
+	sys.eng.Schedule(latency, func() {
+		if c.released {
+			return
+		}
+		if srcSide {
+			c.srcHalf = result
+			c.haveSrc = true
+		} else {
+			c.dstHalf = result
+			c.haveDst = true
+		}
+		if c.OnUpdate != nil {
+			c.OnUpdate()
+		}
+	})
+}
+
+// Release deregisters the flow everywhere (sent as one-way messages).
+func (c *Client) Release() {
+	if c.released {
+		return
+	}
+	c.released = true
+	c.sys.Stats.Releases++
+	remove := func(links []*topology.Link, leaf pkt.NodeID) {
+		rack := c.sys.net.RackOf(leaf)
+		hops := 0
+		for i, l := range links {
+			if va := c.sys.virt[virtKey{l.ID, rack}]; c.sys.P.Delegation && l.Level == topology.LevelAggCore && va != nil {
+				va.Remove(c.flow)
+				continue
+			}
+			if i > 0 {
+				hops = i
+			}
+			c.sys.arbs[l.ID].Remove(c.flow)
+		}
+		c.sys.countMessages(int64(hops))
+	}
+	remove(c.upPath, c.src)
+	rev := make([]*topology.Link, len(c.downPath))
+	for i, l := range c.downPath {
+		rev[len(c.downPath)-1-i] = l
+	}
+	remove(rev, c.dst)
+}

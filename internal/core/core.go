@@ -1,0 +1,19 @@
+// Package core assembles PASE — the paper's primary contribution —
+// from its two halves: the arbitration control plane
+// (internal/core/arbitration) and the priority-queue-aware end-host
+// transport (internal/core/endhost).
+package core
+
+import (
+	"pase/internal/core/arbitration"
+	"pase/internal/core/endhost"
+	"pase/internal/transport"
+)
+
+// Attach builds an arbitration System for the driver's fabric and
+// installs the PASE end-host transport on every host.
+func Attach(d *transport.Driver, p arbitration.Params, cfg endhost.Config) (*arbitration.System, *endhost.Transport) {
+	sys := arbitration.NewSystem(d.Net, p)
+	t := endhost.Attach(d, sys, cfg)
+	return sys, t
+}

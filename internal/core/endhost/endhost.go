@@ -1,0 +1,434 @@
+// Package endhost implements PASE's end-host transport (§3.2 of the
+// paper): rate control that is guided by the arbitration control
+// plane's (priority queue, reference rate) output — Algorithm 2 — plus
+// the loss-recovery changes low-priority flows need: large timeouts
+// with probe packets instead of data retransmissions, and a reorder
+// guard when a flow is promoted between priority queues.
+package endhost
+
+import (
+	"pase/internal/core/arbitration"
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/transport"
+)
+
+// Config holds PASE transport parameters (Table 3).
+type Config struct {
+	// MinRTOTop is the timeout floor for flows in the top queue
+	// (10 ms in Table 3); MinRTOLow for every other queue (200 ms).
+	MinRTOTop sim.Duration
+	MinRTOLow sim.Duration
+	// Probing replaces data retransmissions with header-only probes
+	// for flows in lower-priority queues, and parks bottom-queue
+	// flows on one probe per RTT instead of one data packet (§4.3.2).
+	Probing bool
+	// ReorderGuard drains in-flight packets before a flow starts
+	// sending at a higher priority (§3.2).
+	ReorderGuard bool
+	// UseRefRate applies Rref to the window of top-queue flows;
+	// disabling it yields the PASE-DCTCP ablation of Figure 13a.
+	UseRefRate bool
+	// TaskAware switches the arbitration criterion from remaining
+	// flow size to the flow's task id (Baraat-style FIFO across
+	// tasks) for flows that carry one — the alternative §3.1.1 of the
+	// paper names explicitly. Deadlines still take precedence.
+	TaskAware bool
+	// G is the DCTCP gain used for the mark-fraction EWMA.
+	G float64
+	// RefreshRTTs is the arbitration refresh period in flow RTTs.
+	RefreshRTTs float64
+}
+
+// DefaultConfig returns the paper's parameterization.
+func DefaultConfig() Config {
+	return Config{
+		MinRTOTop:    10 * sim.Millisecond,
+		MinRTOLow:    200 * sim.Millisecond,
+		Probing:      true,
+		ReorderGuard: true,
+		UseRefRate:   true,
+		G:            1.0 / 16.0,
+		RefreshRTTs:  1,
+	}
+}
+
+// Transport binds the PASE end-host protocol to an arbitration system.
+type Transport struct {
+	Sys *arbitration.System
+	Cfg Config
+}
+
+// Attach installs PASE on every stack of the driver.
+func Attach(d *transport.Driver, sys *arbitration.System, cfg Config) *Transport {
+	t := &Transport{Sys: sys, Cfg: cfg}
+	for _, st := range d.Stacks {
+		st.NewControl = t.NewControl
+	}
+	prev := d.OnFlowDone
+	d.OnFlowDone = func(s *transport.Sender) {
+		if c, ok := s.CC.(*control); ok {
+			c.shutdown()
+		}
+		if prev != nil {
+			prev(s)
+		}
+	}
+	return t
+}
+
+// NewControl implements the transport.Control factory.
+func (t *Transport) NewControl(s *transport.Sender) transport.Control {
+	return &control{t: t}
+}
+
+// control is per-flow PASE state.
+type control struct {
+	t      *Transport
+	client *arbitration.Client
+
+	// DCTCP-style mark estimation.
+	alpha     float64
+	acks      int32
+	marked    int32
+	windowEnd int32
+	cutEnd    int32
+
+	// Algorithm 2 state.
+	rref         netem.BitRate
+	activePrio   int8
+	targetPrio   int8
+	isInterQueue bool
+
+	started   bool
+	guarding  bool // reorder guard active: draining before promotion
+	probeMode bool // bottom-queue probing instead of data
+
+	refreshTimer *sim.Timer
+	probeTimer   *sim.Timer
+	stopped      bool
+}
+
+func (c *control) Name() string { return "PASE" }
+
+// bottomQueue returns the lowest-priority class index.
+func (c *control) bottomQueue() int8 { return int8(c.t.Sys.P.NumQueues - 1) }
+
+// Init implements transport.Control: register with the arbitration
+// control plane and hold transmission until the source half answers.
+func (c *control) Init(s *transport.Sender) {
+	s.CC = c
+	c.cutEnd = -1
+	c.activePrio = c.bottomQueue()
+	c.targetPrio = c.activePrio
+	s.Prio = c.activePrio
+	s.Hold = true
+	c.client = c.t.Sys.NewClient(s.Spec.ID, s.Spec.Src, s.Spec.Dst)
+	c.client.OnUpdate = func() { c.onArbitration(s) }
+	c.client.Refresh(c.key(s), c.demand(s))
+	c.scheduleRefresh(s)
+}
+
+// key is the scheduling criterion sent to arbitrators. Precedence:
+// deadline flows first (earliest-deadline-first, raw timestamps),
+// then — when TaskAware is on — task-carrying flows in task arrival
+// order (FIFO across tasks; flows within a task share the key and so
+// the queue), then everything else by remaining size. The three
+// classes occupy disjoint key ranges.
+func (c *control) key(s *transport.Sender) int64 {
+	if s.Spec.Deadline != 0 {
+		return int64(s.Spec.Deadline)
+	}
+	if c.t.Cfg.TaskAware && s.Spec.Task != 0 {
+		return int64(s.Spec.Task) + (1 << 45)
+	}
+	return s.Remaining() + (1 << 50)
+}
+
+// demand is the rate the source could actually use: line rate for
+// flows with at least a bandwidth-delay product left, less for tails.
+func (c *control) demand(s *transport.Sender) netem.BitRate {
+	nic := s.Stack().NICRate()
+	want := netem.BitRate(float64(s.Remaining()*8) / s.RTT().Seconds())
+	if want < nic {
+		min := netem.BitRate(float64(pkt.MTU*8) / s.RTT().Seconds())
+		if want < min {
+			want = min
+		}
+		return want
+	}
+	return nic
+}
+
+func (c *control) scheduleRefresh(s *transport.Sender) {
+	period := sim.Duration(c.t.Cfg.RefreshRTTs * float64(s.RTT()))
+	c.refreshTimer = s.Stack().Eng.Schedule(period, func() {
+		if c.stopped || s.Done {
+			return
+		}
+		c.client.Refresh(c.key(s), c.demand(s))
+		c.scheduleRefresh(s)
+	})
+}
+
+// onArbitration reacts to a (queue, Rref) update from the control
+// plane.
+func (c *control) onArbitration(s *transport.Sender) {
+	if c.stopped || s.Done {
+		return
+	}
+	d := c.client.Combined()
+	c.rref = d.Rref
+
+	if !c.started {
+		if !c.client.Ready() {
+			return
+		}
+		c.started = true
+		c.adopt(s, d.Queue)
+		c.applyWindow(s)
+		c.updateHold(s)
+		s.Kick()
+		return
+	}
+
+	c.targetPrio = d.Queue
+	if d.Queue < c.activePrio && c.t.Cfg.ReorderGuard && s.Inflight() > 0 {
+		// Promotion with packets still out: drain first (§3.2).
+		c.guarding = true
+		c.updateHold(s)
+		return
+	}
+	c.settle(s)
+}
+
+// settle ends any reorder guard and adopts the target queue. It is
+// called whenever the guard's drain condition is met — or whenever
+// waiting longer would be worse than a rare reordering (a timeout
+// fired, or arbitration stopped promoting the flow).
+func (c *control) settle(s *transport.Sender) {
+	c.guarding = false
+	if c.targetPrio != c.activePrio {
+		c.adopt(s, c.targetPrio)
+		c.applyWindow(s)
+	}
+	// For a flow already in the top queue, the refreshed reference
+	// rate takes effect through the per-ACK window cap — no re-pin.
+	c.updateHold(s)
+	s.Kick()
+}
+
+// adopt switches the flow onto a priority queue. A flow entering an
+// intermediate queue restarts probing from one packet (Algorithm 2)
+// but keeps its learned slow-start threshold: re-entering slow start
+// on every queue remap would burst into an already-backlogged band.
+func (c *control) adopt(s *transport.Sender, q int8) {
+	c.activePrio = q
+	c.targetPrio = q
+	c.guarding = false
+	s.Prio = q
+	wasProbe := c.probeMode
+	c.probeMode = c.t.Cfg.Probing && q == c.bottomQueue()
+	if c.probeMode && !wasProbe {
+		c.scheduleProbe(s)
+	}
+	if !c.probeMode {
+		c.probeTimer.Stop()
+	}
+}
+
+// applyWindow sets the congestion window for the newly adopted queue
+// per Algorithm 2.
+func (c *control) applyWindow(s *transport.Sender) {
+	switch {
+	case c.activePrio == 0:
+		if c.t.Cfg.UseRefRate {
+			s.Cwnd = c.rrefWindow(s)
+		}
+		c.isInterQueue = false
+	case c.activePrio == c.bottomQueue():
+		s.Cwnd = 1
+		c.isInterQueue = false
+	default:
+		if !c.isInterQueue {
+			c.isInterQueue = true
+			s.Cwnd = 1
+		}
+	}
+}
+
+// rrefWindow converts the reference rate into a window in segments,
+// cwnd = Rref × RTT (Algorithm 2), using the measured RTT. When the
+// reference rate is truthful (end-to-end arbitration) queues stay
+// short and this equals the propagation BDP; when it is optimistic
+// (e.g. arbitration restricted to access links) the inflated RTT
+// inflates the window and the marked-ACK decrease law must fight it —
+// visible as Figure 12a's local-arbitration penalty.
+func (c *control) rrefWindow(s *transport.Sender) float64 {
+	w := float64(c.rref) * s.RTT().Seconds() / (8 * pkt.MTU)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// updateHold recomputes the transmission gate.
+func (c *control) updateHold(s *transport.Sender) {
+	s.Hold = !c.started || c.guarding || c.probeMode
+}
+
+// scheduleProbe keeps a bottom-queue flow alive with one header-only
+// probe per RTT (§4.3.2) instead of full data packets.
+func (c *control) scheduleProbe(s *transport.Sender) {
+	c.probeTimer = s.Stack().Eng.Schedule(s.RTT(), func() {
+		if c.stopped || s.Done || !c.probeMode {
+			return
+		}
+		s.SendProbe(s.FirstMissing())
+		c.scheduleProbe(s)
+	})
+}
+
+// OnAck implements transport.Control: Algorithm 2's rate control.
+func (c *control) OnAck(s *transport.Sender, ack *pkt.Packet, newly int32, _ sim.Duration) {
+	// Reorder-guard release: everything sent at the old priority has
+	// been acknowledged.
+	if c.guarding && s.Inflight() == 0 {
+		c.settle(s)
+	}
+
+	// DCTCP mark-fraction estimation.
+	c.acks++
+	if ack.Echo {
+		c.marked++
+	}
+	if s.CumAck() > c.windowEnd {
+		f := 0.0
+		if c.acks > 0 {
+			f = float64(c.marked) / float64(c.acks)
+		}
+		c.alpha = (1-c.t.Cfg.G)*c.alpha + c.t.Cfg.G*f
+		c.acks, c.marked = 0, 0
+		c.windowEnd = s.NextWindowEdge()
+	}
+
+	if ack.Echo {
+		// Algorithm 2: marked ACK → DCTCP decrease law, any queue.
+		if s.CumAck() > c.cutEnd {
+			s.Cwnd = s.Cwnd * (1 - c.alpha/2)
+			if s.Cwnd < 1 {
+				s.Cwnd = 1
+			}
+			// Leave slow start, as DCTCP does after a reduction —
+			// growth continues additively from here.
+			s.SSThresh = s.Cwnd
+			c.cutEnd = s.NextWindowEdge()
+		}
+		return
+	}
+	if newly <= 0 {
+		return
+	}
+
+	switch {
+	case c.activePrio == 0:
+		if c.t.Cfg.UseRefRate {
+			// Algorithm 2: cwnd = Rref × RTT — but a congestion cut
+			// persists for one window of data before the pin resumes,
+			// the granularity at which DCTCP itself cuts. (Re-pinning
+			// immediately would neutralize the decrease law whenever
+			// the arbitrated rate turns out optimistic, e.g. when
+			// arbitration is restricted to the access links.)
+			if s.CumAck() > c.cutEnd {
+				s.Cwnd = c.rrefWindow(s)
+			}
+		} else {
+			// PASE-DCTCP ablation: standard DCTCP growth.
+			c.grow(s, newly)
+		}
+		c.isInterQueue = false
+	case c.activePrio == c.bottomQueue():
+		s.Cwnd = 1
+		c.isInterQueue = false
+	default:
+		if c.isInterQueue {
+			c.grow(s, newly)
+		} else {
+			c.isInterQueue = true
+			s.Cwnd = 1
+		}
+	}
+}
+
+func (c *control) grow(s *transport.Sender, newly int32) {
+	for i := int32(0); i < newly; i++ {
+		if s.Cwnd < s.SSThresh {
+			s.Cwnd++
+		} else {
+			s.Cwnd += 1 / s.Cwnd
+		}
+	}
+}
+
+// OnLoss implements transport.Control.
+func (c *control) OnLoss(s *transport.Sender) {
+	s.SSThresh = s.Cwnd / 2
+	if s.SSThresh < 2 {
+		s.SSThresh = 2
+	}
+	if c.activePrio != 0 || !c.t.Cfg.UseRefRate {
+		s.Cwnd = s.SSThresh
+	}
+}
+
+// OnTimeout implements transport.Control: top-queue flows retransmit
+// normally; lower-priority flows probe instead of resending data —
+// their packets are usually parked behind higher classes, not lost.
+func (c *control) OnTimeout(s *transport.Sender) bool {
+	if c.guarding {
+		// The drain stalled for a whole RTO: packets were lost, not
+		// queued. Stop guarding — there is nothing left to reorder.
+		c.settle(s)
+	}
+	if c.activePrio > 0 && c.t.Cfg.Probing {
+		s.SendProbe(s.FirstMissing())
+		return true
+	}
+	s.Cwnd = 1
+	return false
+}
+
+// OnProbeAck implements transport.ProbeAckHandler.
+func (c *control) OnProbeAck(s *transport.Sender, p *pkt.Packet) {
+	s.AbsorbProbeAck(p)
+	if c.guarding && s.Inflight() == 0 && !s.Done {
+		c.settle(s)
+	}
+}
+
+// FillData implements transport.Control.
+func (c *control) FillData(s *transport.Sender, p *pkt.Packet) {
+	p.ECT = true
+	p.Prio = c.activePrio
+	p.Rank = s.Remaining()
+}
+
+// MinRTO implements transport.Control.
+func (c *control) MinRTO(*transport.Sender) sim.Duration {
+	if c.activePrio == 0 {
+		return c.t.Cfg.MinRTOTop
+	}
+	return c.t.Cfg.MinRTOLow
+}
+
+// shutdown releases arbitration state when the flow ends.
+func (c *control) shutdown() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.refreshTimer.Stop()
+	c.probeTimer.Stop()
+	c.client.Release()
+}

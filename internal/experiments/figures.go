@@ -1,0 +1,549 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pase/internal/metrics"
+	"pase/internal/sim"
+)
+
+// Opts scales an experiment run: fewer flows for quick looks and
+// benchmarks, more for smooth curves.
+type Opts struct {
+	// NumFlows per point (0 = 2000).
+	NumFlows int
+	// Seed for workload generation.
+	Seed uint64
+	// Seeds averages every sweep point over this many consecutive
+	// seeds starting at Seed (0 or 1 = single run). CDF figures always
+	// use a single seed.
+	Seeds int
+	// Loads overrides the figure's load sweep when non-empty.
+	Loads []float64
+}
+
+func (o Opts) seeds() int {
+	if o.Seeds < 1 {
+		return 1
+	}
+	return o.Seeds
+}
+
+func (o Opts) loads(def []float64) []float64 {
+	if len(o.Loads) > 0 {
+		return o.Loads
+	}
+	return def
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is a regenerated figure: the same series the paper plots.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Figure is a registered experiment.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(o Opts) *Result
+}
+
+// variant is one curve's configuration.
+type variant struct {
+	name string
+	cfg  func(load float64, o Opts) PointConfig
+}
+
+func proto(p Protocol, s Scenario) variant {
+	return variant{name: string(p), cfg: func(load float64, o Opts) PointConfig {
+		return PointConfig{Protocol: p, Scenario: s, Load: load, Seed: o.Seed, NumFlows: o.NumFlows}
+	}}
+}
+
+func paseVariant(name string, s Scenario, opts PASEOptions) variant {
+	return variant{name: name, cfg: func(load float64, o Opts) PointConfig {
+		return PointConfig{Protocol: PASE, Scenario: s, Load: load, Seed: o.Seed, NumFlows: o.NumFlows, PASE: opts}
+	}}
+}
+
+// sweep runs each variant across the loads and extracts one metric,
+// averaging over o.seeds() runs per point.
+func sweep(vs []variant, loads []float64, o Opts, metric func(PointResult) float64) []Series {
+	out := make([]Series, len(vs))
+	for i, v := range vs {
+		s := Series{Name: v.name}
+		for _, load := range loads {
+			var sum float64
+			for k := 0; k < o.seeds(); k++ {
+				so := o
+				so.Seed = o.Seed + uint64(k)
+				sum += metric(RunPoint(v.cfg(load, so)))
+			}
+			s.X = append(s.X, load*100)
+			s.Y = append(s.Y, sum/float64(o.seeds()))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// cdfSeries runs each variant at one load and returns FCT CDFs.
+func cdfSeries(vs []variant, load float64, o Opts) []Series {
+	out := make([]Series, len(vs))
+	for i, v := range vs {
+		r := RunPoint(v.cfg(load, o))
+		s := Series{Name: v.name}
+		for _, p := range r.CDF {
+			s.X = append(s.X, p.Value.Millis())
+			s.Y = append(s.Y, p.Fraction)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func afctMS(r PointResult) float64      { return r.Summary.AFCT.Millis() }
+func p99MS(r PointResult) float64       { return r.Summary.P99.Millis() }
+func appTput(r PointResult) float64     { return r.Summary.AppThroughput }
+func lossRatePct(r PointResult) float64 { return r.LossRate * 100 }
+
+// Figures is the per-paper-figure experiment registry.
+var Figures = []Figure{
+	{ID: "1", Title: "App throughput vs load: self-adjusting endpoints vs pFabric (deadline workload)", Run: fig1},
+	{ID: "2", Title: "AFCT vs load: PDQ vs DCTCP (flow switching overhead)", Run: fig2},
+	{ID: "3", Title: "Toy example: local prioritization stalls flow 3 (pFabric) vs PASE", Run: fig3},
+	{ID: "4", Title: "pFabric loss rate vs load (intra-rack all-to-all)", Run: fig4},
+	{ID: "9a", Title: "AFCT vs load: PASE vs L2DCT vs DCTCP (left-right)", Run: fig9a},
+	{ID: "9b", Title: "FCT CDF at 70% load (left-right): PASE vs L2DCT vs DCTCP", Run: fig9b},
+	{ID: "9c", Title: "App throughput vs load: PASE vs D2TCP vs DCTCP (deadlines)", Run: fig9c},
+	{ID: "10a", Title: "99th percentile FCT vs load: PASE vs pFabric (left-right)", Run: fig10a},
+	{ID: "10b", Title: "FCT CDF at 70% load (left-right): PASE vs pFabric", Run: fig10b},
+	{ID: "10c", Title: "AFCT vs load: PASE vs pFabric (all-to-all intra-rack)", Run: fig10c},
+	{ID: "11a", Title: "AFCT improvement from arbitration optimizations (left-right)", Run: fig11a},
+	{ID: "11b", Title: "Control overhead reduction from arbitration optimizations (left-right)", Run: fig11b},
+	{ID: "12a", Title: "End-to-end vs local-only arbitration (left-right)", Run: fig12a},
+	{ID: "12b", Title: "AFCT vs number of priority queues (left-right)", Run: fig12b},
+	{ID: "13a", Title: "PASE vs PASE-DCTCP: value of the reference rate (intra-rack)", Run: fig13a},
+	{ID: "13b", Title: "Testbed: PASE vs DCTCP AFCT", Run: fig13b},
+	{ID: "probing", Title: "Probing ablation at high load (intra-rack all-to-all)", Run: figProbing},
+	{ID: "task", Title: "Extension: task-aware arbitration (Baraat-style FIFO across tasks, §3.1.1)", Run: figTask},
+	{ID: "leafspine", Title: "Extension: PASE on a multipath leaf-spine fabric with per-flow ECMP", Run: figLeafSpine},
+}
+
+// Lookup returns the figure with the given ID.
+func Lookup(id string) (Figure, bool) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+func fig1(o Opts) *Result {
+	vs := []variant{proto(PFabric, Deadline), proto(D2TCP, Deadline), proto(DCTCP, Deadline)}
+	return &Result{
+		ID: "1", Title: "Application throughput (deadline workload)",
+		XLabel: "Offered load (%)", YLabel: "Fraction of deadlines met",
+		Series: sweep(vs, o.loads(DefaultLoads), o, appTput),
+	}
+}
+
+func fig2(o Opts) *Result {
+	vs := []variant{proto(PDQ, IntraRackLarge), proto(DCTCP, IntraRackLarge)}
+	return &Result{
+		ID: "2", Title: "AFCT: PDQ vs DCTCP (intra-rack all-to-all)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
+	}
+}
+
+func fig4(o Opts) *Result {
+	vs := []variant{proto(PFabric, WorkerAgg)}
+	loads := o.loads(append(append([]float64{}, DefaultLoads...), 0.95))
+	return &Result{
+		ID: "4", Title: "pFabric loss rate",
+		XLabel: "Offered load (%)", YLabel: "Loss rate (%)",
+		Series: sweep(vs, loads, o, lossRatePct),
+	}
+}
+
+func fig9a(o Opts) *Result {
+	vs := []variant{proto(PASE, LeftRight), proto(L2DCT, LeftRight), proto(DCTCP, LeftRight)}
+	return &Result{
+		ID: "9a", Title: "AFCT (left-right inter-rack)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
+	}
+}
+
+func fig9b(o Opts) *Result {
+	vs := []variant{proto(PASE, LeftRight), proto(L2DCT, LeftRight), proto(DCTCP, LeftRight)}
+	return &Result{
+		ID: "9b", Title: "FCT CDF at 70% load (left-right)",
+		XLabel: "FCT (ms)", YLabel: "Fraction of flows",
+		Series: cdfSeries(vs, 0.7, o),
+	}
+}
+
+func fig9c(o Opts) *Result {
+	vs := []variant{proto(PASE, Deadline), proto(D2TCP, Deadline), proto(DCTCP, Deadline)}
+	return &Result{
+		ID: "9c", Title: "Application throughput (deadline workload)",
+		XLabel: "Offered load (%)", YLabel: "Fraction of deadlines met",
+		Series: sweep(vs, o.loads(DefaultLoads), o, appTput),
+	}
+}
+
+func fig10a(o Opts) *Result {
+	vs := []variant{proto(PASE, LeftRight), proto(PFabric, LeftRight)}
+	return &Result{
+		ID: "10a", Title: "99th percentile FCT (left-right)",
+		XLabel: "Offered load (%)", YLabel: "99th-pct FCT (ms)",
+		Series: sweep(vs, o.loads(DefaultLoads), o, p99MS),
+	}
+}
+
+func fig10b(o Opts) *Result {
+	vs := []variant{proto(PASE, LeftRight), proto(PFabric, LeftRight)}
+	return &Result{
+		ID: "10b", Title: "FCT CDF at 70% load (left-right)",
+		XLabel: "FCT (ms)", YLabel: "Fraction of flows",
+		Series: cdfSeries(vs, 0.7, o),
+	}
+}
+
+func fig10c(o Opts) *Result {
+	vs := []variant{proto(PASE, WorkerAgg), proto(PFabric, WorkerAgg)}
+	res := &Result{
+		ID: "10c", Title: "AFCT (all-to-all intra-rack)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
+	}
+	// The paper annotates per-load % improvement of PASE over pFabric.
+	var imp []string
+	for i := range res.Series[0].X {
+		pf, pa := res.Series[1].Y[i], res.Series[0].Y[i]
+		if pf > 0 {
+			imp = append(imp, fmt.Sprintf("%.0f%%@%g%%", (pf-pa)/pf*100, res.Series[0].X[i]))
+		}
+	}
+	res.Notes = append(res.Notes, "PASE improvement over pFabric: "+fmt.Sprint(imp))
+	return res
+}
+
+func fig11a(o Opts) *Result { return fig11(o, true) }
+func fig11b(o Opts) *Result { return fig11(o, false) }
+
+func fig11(o Opts, afct bool) *Result {
+	// Average a few seeds per point: the high-load AFCT deltas are a
+	// few percent, comparable to single-run variance.
+	const seeds = 3
+	loads := o.loads(DefaultLoads)
+	var xs, ys []float64
+	for _, load := range loads {
+		var onAFCT, offAFCT, onMsgs, offMsgs float64
+		for seed := uint64(0); seed < seeds; seed++ {
+			so := o
+			so.Seed = o.Seed + seed
+			ron := RunPoint(PointConfig{Protocol: PASE, Scenario: LeftRight,
+				Load: load, Seed: so.Seed, NumFlows: o.NumFlows})
+			roff := RunPoint(PointConfig{Protocol: PASE, Scenario: LeftRight,
+				Load: load, Seed: so.Seed, NumFlows: o.NumFlows,
+				PASE: PASEOptions{NoPruning: true, NoDelegation: true}})
+			onAFCT += float64(ron.Summary.AFCT)
+			offAFCT += float64(roff.Summary.AFCT)
+			onMsgs += float64(ron.CtrlMessages)
+			offMsgs += float64(roff.CtrlMessages)
+		}
+		xs = append(xs, load*100)
+		if afct {
+			if offAFCT > 0 {
+				ys = append(ys, (offAFCT-onAFCT)/offAFCT*100)
+			} else {
+				ys = append(ys, 0)
+			}
+		} else {
+			if offMsgs > 0 {
+				ys = append(ys, (offMsgs-onMsgs)/offMsgs*100)
+			} else {
+				ys = append(ys, 0)
+			}
+		}
+	}
+	id, ylabel := "11a", "AFCT improvement (%)"
+	if !afct {
+		id, ylabel = "11b", "Overhead reduction (%)"
+	}
+	return &Result{
+		ID: id, Title: "Early pruning + delegation (left-right)",
+		XLabel: "Offered load (%)", YLabel: ylabel,
+		Series: []Series{{Name: "optimizations", X: xs, Y: ys}},
+	}
+}
+
+func fig12a(o Opts) *Result {
+	// Local-only arbitration is bimodal: runs where an overload
+	// episode overflows a buffer pay 200 ms recovery tails, others
+	// look fine. Average a few seeds per point so the series shows
+	// the expected cost rather than one lucky (or unlucky) draw.
+	const seeds = 3
+	loads := o.loads(append(append([]float64{}, DefaultLoads...), 0.95))
+	mk := func(name string, opts PASEOptions) Series {
+		s := Series{Name: name}
+		for _, load := range loads {
+			var sum float64
+			for seed := uint64(0); seed < seeds; seed++ {
+				r := RunPoint(PointConfig{Protocol: PASE, Scenario: LeftRight,
+					Load: load, Seed: o.Seed + seed, NumFlows: o.NumFlows, PASE: opts})
+				sum += afctMS(r)
+			}
+			s.X = append(s.X, load*100)
+			s.Y = append(s.Y, sum/seeds)
+		}
+		return s
+	}
+	return &Result{
+		ID: "12a", Title: "End-to-end vs local-only arbitration (left-right)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: []Series{
+			mk("Arbitration=ON", PASEOptions{}),
+			mk("Arbitration=OFF", PASEOptions{LocalOnly: true}),
+		},
+		Notes: []string{fmt.Sprintf("each point averages %d seeds", seeds)},
+	}
+}
+
+func fig12b(o Opts) *Result {
+	var vs []variant
+	for _, q := range []int{3, 4, 6, 8} {
+		vs = append(vs, paseVariant(fmt.Sprintf("%d Queues", q), LeftRight, PASEOptions{NumQueues: q}))
+	}
+	return &Result{
+		ID: "12b", Title: "AFCT vs number of priority queues (left-right)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
+	}
+}
+
+func fig13a(o Opts) *Result {
+	vs := []variant{
+		paseVariant("PASE", IntraRackLarge, PASEOptions{}),
+		paseVariant("PASE-DCTCP", IntraRackLarge, PASEOptions{DisableRefRate: true}),
+	}
+	return &Result{
+		ID: "13a", Title: "Reference rate ablation (intra-rack, U[100,500] KB)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
+	}
+}
+
+func fig13b(o Opts) *Result {
+	vs := []variant{proto(PASE, Testbed), proto(DCTCP, Testbed)}
+	return &Result{
+		ID: "13b", Title: "Testbed (simulated): PASE vs DCTCP",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
+	}
+}
+
+func figProbing(o Opts) *Result {
+	vs := []variant{
+		paseVariant("probing on", WorkerAgg, PASEOptions{}),
+		paseVariant("probing off", WorkerAgg, PASEOptions{DisableProbing: true}),
+	}
+	loads := o.loads([]float64{0.8, 0.9})
+	return &Result{
+		ID: "probing", Title: "Probing ablation (intra-rack all-to-all)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, loads, o, afctMS),
+	}
+}
+
+// Render formats a Result as aligned text columns, one row per X value.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("Figure %s: %s\n", r.ID, r.Title)
+	out += fmt.Sprintf("%-14s", r.XLabel)
+	for _, s := range r.Series {
+		out += fmt.Sprintf(" %16s", s.Name)
+	}
+	out += fmt.Sprintf("   (%s)\n", r.YLabel)
+
+	// Collect the union of X values (CDF curves have distinct Xs; for
+	// those, render each series' own rows).
+	sameX := true
+	for _, s := range r.Series[1:] {
+		if len(s.X) != len(r.Series[0].X) {
+			sameX = false
+			break
+		}
+		for i := range s.X {
+			if s.X[i] != r.Series[0].X[i] {
+				sameX = false
+				break
+			}
+		}
+	}
+	if sameX {
+		for i := range r.Series[0].X {
+			out += fmt.Sprintf("%-14.4g", r.Series[0].X[i])
+			for _, s := range r.Series {
+				out += fmt.Sprintf(" %16.4g", s.Y[i])
+			}
+			out += "\n"
+		}
+	} else {
+		for _, s := range r.Series {
+			out += fmt.Sprintf("-- %s --\n", s.Name)
+			idx := make([]int, len(s.X))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Ints(idx)
+			for _, i := range idx {
+				out += fmt.Sprintf("%-14.4g %16.4g\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// figTask exercises the criterion swap §3.1.1 names: arbitrating by
+// task id (all responses of one query share a priority; tasks served
+// FIFO) versus by remaining flow size, on the worker-aggregator
+// workload. The metric is the mean task completion time — the time
+// from a query's first response starting to its last finishing.
+func figTask(o Opts) *Result {
+	loads := o.loads([]float64{0.3, 0.6, 0.9})
+	mk := func(name string, taskAware bool) (Series, []int) {
+		s := Series{Name: name}
+		var inversions []int
+		for _, load := range loads {
+			r := RunPoint(PointConfig{Protocol: PASE, Scenario: WorkerAgg,
+				Load: load, Seed: o.Seed, NumFlows: o.NumFlows,
+				PASE: PASEOptions{TaskAware: taskAware}})
+			tasks := metrics.Tasks(r.Records)
+			s.X = append(s.X, load*100)
+			s.Y = append(s.Y, metrics.MeanTCT(tasks).Millis())
+			inversions = append(inversions, metrics.TaskOrderInversions(tasks))
+		}
+		return s, inversions
+	}
+	bySize, invSize := mk("size-based (SJF)", false)
+	byTask, invTask := mk("task-aware (FIFO-LM)", true)
+	return &Result{
+		ID: "task", Title: "Task-aware vs size-based arbitration (worker-aggregator)",
+		XLabel: "Offered load (%)", YLabel: "Mean task completion time (ms)",
+		Series: []Series{byTask, bySize},
+		Notes: []string{
+			fmt.Sprintf("task-order inversions, task-aware: %v", invTask),
+			fmt.Sprintf("task-order inversions, size-based: %v", invSize),
+		},
+	}
+}
+
+// WriteTSV dumps the figure as tab-separated columns (one X column,
+// one column per series). Series with differing X grids (CDFs) are
+// emitted as separate blocks.
+func (r *Result) WriteTSV(w io.Writer) error {
+	sameX := true
+	for _, s := range r.Series[1:] {
+		if len(s.X) != len(r.Series[0].X) {
+			sameX = false
+			break
+		}
+		for i := range s.X {
+			if s.X[i] != r.Series[0].X[i] {
+				sameX = false
+				break
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# Figure %s: %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if sameX {
+		fmt.Fprintf(w, "# %s", r.XLabel)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "\t%s", s.Name)
+		}
+		fmt.Fprintf(w, "\t(%s)\n", r.YLabel)
+		for i := range r.Series[0].X {
+			fmt.Fprintf(w, "%g", r.Series[0].X[i])
+			for _, s := range r.Series {
+				fmt.Fprintf(w, "\t%g", s.Y[i])
+			}
+			fmt.Fprintln(w)
+		}
+	} else {
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "# %s: %s vs %s\n", s.Name, r.XLabel, r.YLabel)
+			for i := range s.X {
+				fmt.Fprintf(w, "%g\t%g\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figLeafSpine runs the protocols on the two-tier multipath fabric:
+// PASE's per-link arbitration composes with per-flow ECMP because the
+// control plane arbitrates exactly the links the flow's hash selects.
+func figLeafSpine(o Opts) *Result {
+	vs := []variant{proto(PASE, LeafSpine), proto(DCTCP, LeafSpine), proto(PFabric, LeafSpine)}
+	return &Result{
+		ID: "leafspine", Title: "Leaf-spine fabric with per-flow ECMP (extension)",
+		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
+		Series: sweep(vs, o.loads([]float64{0.2, 0.4, 0.6, 0.8}), o, afctMS),
+	}
+}
+
+// fig3 is the toy example of Figure 3: three flows, two links.
+// Flow 1 (src1→dst1) is most urgent, flow 2 (src2→dst1) medium,
+// flow 3 (src2→dst2) least. Flows 1 and 2 share dst1's downlink;
+// flows 2 and 3 share src2's uplink. pFabric keeps transmitting
+// flow 2 on the shared uplink only to have the packets die at the
+// downlink, stalling flow 3; PASE's end-to-end arbitration throttles
+// flow 2 at the source so flow 3 runs alongside flow 1.
+func fig3(o Opts) *Result {
+	res := &Result{
+		ID: "3", Title: "Toy example: flow 3 stall",
+		XLabel: "flow #", YLabel: "FCT (ms)",
+	}
+	for _, p := range []Protocol{PFabric, PASE} {
+		fcts := RunToy(p)
+		s := Series{Name: string(p)}
+		for i, f := range fcts {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, f.Millis())
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"flow sizes 0.5/0.75/1.0 MB; flows 1 and 3 share no link and could run in parallel")
+	return res
+}
+
+var _ = sim.Millisecond

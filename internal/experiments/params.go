@@ -1,0 +1,93 @@
+// Package experiments defines one runnable experiment per table and
+// figure in the paper's evaluation (§4): scenario construction, the
+// protocol variants compared, the load sweep, and the metric series
+// each figure plots. The cmd/paper binary and the repository's
+// benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"pase/internal/core/arbitration"
+	"pase/internal/core/endhost"
+	"pase/internal/netem"
+	"pase/internal/sim"
+	"pase/internal/transport/d2tcp"
+	"pase/internal/transport/dctcp"
+	"pase/internal/transport/l2dct"
+	"pase/internal/transport/pdq"
+	"pase/internal/transport/pfabric"
+)
+
+// Table 3 of the paper — default per-protocol parameters.
+var (
+	// DCTCPQueueSize is the switch buffer for DCTCP-family runs.
+	DCTCPQueueSize = 225
+	// MarkingThreshold is the ECN marking threshold K.
+	MarkingThreshold = 65
+	// PFabricQueueSize is 2×BDP per Table 3.
+	PFabricQueueSize = 76
+	// PASEQueueSize is the shared PRIO buffer.
+	PASEQueueSize = 500
+	// PASENumQueues is the number of priority queues.
+	PASENumQueues = 8
+	// PDQQueueSize matches the DCTCP buffering (PDQ keeps queues
+	// nearly empty by construction).
+	PDQQueueSize = 225
+)
+
+// DefaultDCTCP returns Table 3's DCTCP configuration.
+func DefaultDCTCP() dctcp.Config { return dctcp.DefaultConfig() }
+
+// DefaultD2TCP returns Table 3's D2TCP configuration.
+func DefaultD2TCP() d2tcp.Config { return d2tcp.DefaultConfig() }
+
+// DefaultL2DCT returns Table 3's L2DCT configuration (minRTO 10 ms).
+func DefaultL2DCT() l2dct.Config { return l2dct.DefaultConfig() }
+
+// DefaultPFabric returns Table 3's pFabric configuration
+// (initCwnd 38 pkts, minRTO 1 ms).
+func DefaultPFabric() pfabric.Config { return pfabric.DefaultConfig() }
+
+// DefaultPDQ returns the PDQ configuration with all flow-switching
+// optimizations on.
+func DefaultPDQ() pdq.Config { return pdq.DefaultConfig() }
+
+// DefaultPASEParams returns Table 3's PASE arbitration parameters
+// (8 queues, pruning past the top two, delegation on).
+func DefaultPASEParams() arbitration.Params { return arbitration.DefaultParams() }
+
+// DefaultPASEEndhost returns Table 3's PASE transport parameters
+// (minRTO 10 ms top queue / 200 ms others, probing on).
+func DefaultPASEEndhost() endhost.Config { return endhost.DefaultConfig() }
+
+// Default sweep used across figures.
+var DefaultLoads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// Workload constants from §4.1.
+const (
+	// ShortFlowMin/Max bound the query/short-message sizes.
+	ShortFlowMin = 2 * 1000
+	ShortFlowMax = 198 * 1000
+	// DeadlineFlowMin/Max bound the deadline-workload sizes.
+	DeadlineFlowMin = 100 * 1000
+	DeadlineFlowMax = 500 * 1000
+	// DeadlineLo/Hi bound the uniform deadlines.
+	DeadlineLo = 5 * sim.Millisecond
+	DeadlineHi = 25 * sim.Millisecond
+	// BackgroundFlows is the long-flow multiplexing level (75th pct).
+	BackgroundFlows = 2
+)
+
+// IntraRackHosts is the size of the paper's intra-rack scenarios.
+const IntraRackHosts = 20
+
+// WorkerFanin is the number of simultaneous worker responses per query
+// in the worker-aggregator scenario.
+const WorkerFanin = 19
+
+// reference capacities for offered load.
+func intraRackReference(hosts int) netem.BitRate {
+	return netem.BitRate(hosts) * netem.Gbps
+}
+
+// leftRightReference is the agg0→core bottleneck.
+const leftRightReference = 10 * netem.Gbps

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleResult(sameX bool) *Result {
+	r := &Result{
+		ID: "x", Title: "sample", XLabel: "load", YLabel: "ms",
+		Series: []Series{
+			{Name: "A", X: []float64{10, 20}, Y: []float64{1.5, 2.5}},
+		},
+		Notes: []string{"hello"},
+	}
+	if sameX {
+		r.Series = append(r.Series, Series{Name: "B", X: []float64{10, 20}, Y: []float64{3, 4}})
+	} else {
+		r.Series = append(r.Series, Series{Name: "B", X: []float64{11, 21, 31}, Y: []float64{3, 4, 5}})
+	}
+	return r
+}
+
+func TestRenderSameX(t *testing.T) {
+	out := sampleResult(true).Render()
+	for _, want := range []string{"Figure x", "A", "B", "1.5", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "-- A --") {
+		t.Fatal("same-X render should use one table")
+	}
+}
+
+func TestRenderPerSeries(t *testing.T) {
+	out := sampleResult(false).Render()
+	if !strings.Contains(out, "-- A --") || !strings.Contains(out, "-- B --") {
+		t.Fatalf("differing-X render should emit per-series blocks:\n%s", out)
+	}
+}
+
+func TestWriteTSVSameX(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleResult(true).WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "10\t1.5\t3") {
+		t.Fatalf("TSV rows wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# note: hello") {
+		t.Fatal("TSV should carry notes as comments")
+	}
+}
+
+func TestWriteTSVPerSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleResult(false).WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# A: load vs ms") || !strings.Contains(out, "31\t5") {
+		t.Fatalf("per-series TSV wrong:\n%s", out)
+	}
+}

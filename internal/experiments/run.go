@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pase/internal/core"
+	"pase/internal/core/arbitration"
+	"pase/internal/metrics"
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+	"pase/internal/transport"
+	"pase/internal/transport/d2tcp"
+	"pase/internal/transport/dctcp"
+	"pase/internal/transport/l2dct"
+	"pase/internal/transport/pdq"
+	"pase/internal/transport/pfabric"
+	"pase/internal/workload"
+)
+
+// Protocol names a transport under evaluation.
+type Protocol string
+
+// The protocols compared in the paper.
+const (
+	DCTCP   Protocol = "DCTCP"
+	D2TCP   Protocol = "D2TCP"
+	L2DCT   Protocol = "L2DCT"
+	PFabric Protocol = "pFabric"
+	PDQ     Protocol = "PDQ"
+	PASE    Protocol = "PASE"
+)
+
+// Scenario names an evaluation setting from §4.
+type Scenario string
+
+// The paper's scenarios.
+const (
+	// LeftRight: baseline 3-tier fabric, 80 left-subtree hosts send to
+	// 80 right-subtree hosts; the agg-core link is the bottleneck.
+	LeftRight Scenario = "left-right"
+	// IntraRack: 20-host single rack, all-to-all, short flows
+	// U[2,198] KB.
+	IntraRack Scenario = "intra-rack"
+	// IntraRackLarge: 20-host single rack, U[100,500] KB (Fig 2, 13a).
+	IntraRackLarge Scenario = "intra-rack-large"
+	// WorkerAgg: the search-style all-to-all of Figures 4 and 10c —
+	// every query triggers simultaneous responses from 10 random
+	// workers to one aggregator (aggregators round-robin), responses
+	// U[2,198] KB.
+	WorkerAgg Scenario = "worker-agg"
+	// Deadline: 20-host single rack, U[100,500] KB with 5–25 ms
+	// deadlines (the D2TCP experiment the paper replicates).
+	Deadline Scenario = "deadline"
+	// Testbed: 10 nodes, 9 clients → 1 server, 1 Gbps, 250 µs RTT,
+	// K = 20, 100-pkt queues (§4.4).
+	Testbed Scenario = "testbed"
+	// LeafSpine: extension — a 4-leaf × 2-spine multipath fabric with
+	// per-flow ECMP; flows cross leaves (short-message workload).
+	LeafSpine Scenario = "leaf-spine"
+)
+
+// PASEOptions select PASE ablations.
+type PASEOptions struct {
+	LocalOnly      bool // Fig 12a: host-local arbitration only
+	NoPruning      bool // Fig 11: disable early pruning
+	NoDelegation   bool // Fig 11: disable delegation
+	NumQueues      int  // Fig 12b: 0 = default (8)
+	DisableRefRate bool // Fig 13a: PASE-DCTCP
+	DisableProbing bool // §4.3.2 ablation
+	NoReorderGuard bool
+	// TaskAware swaps the scheduling criterion from remaining size to
+	// task id for task-carrying flows (Baraat-style; §3.1.1).
+	TaskAware bool
+}
+
+// PointConfig is one (protocol, scenario, load) simulation.
+type PointConfig struct {
+	Protocol Protocol
+	Scenario Scenario
+	Load     float64
+	Seed     uint64
+	// NumFlows is the number of foreground flows (0 = 2000).
+	NumFlows int
+	PASE     PASEOptions
+}
+
+// PointResult is what one simulation yields.
+type PointResult struct {
+	Summary metrics.Summary
+	// LossRate is dropped data packets over data enqueue attempts
+	// across every queue in the fabric.
+	LossRate float64
+	// CtrlMessages counts arbitration (PASE) or header-exchange (PDQ)
+	// control messages.
+	CtrlMessages int64
+	CDF          []metrics.CDFPoint
+	Queues       netem.QueueStats
+	// Records holds the per-flow outcomes of the run.
+	Records []metrics.FlowRecord
+}
+
+// scenarioSpec bundles what a scenario needs.
+type scenarioSpec struct {
+	topo func(newQueue func(topology.QueueKind) netem.Queue) topology.Config
+	// buildLS, when set, builds a leaf-spine fabric instead of a tree.
+	buildLS   *topology.LeafSpineConfig
+	pattern   func(n *topology.Network) workload.Pattern
+	sizes     workload.SizeDist
+	reference netem.BitRate
+	deadlines bool
+	fanin     int
+	bgFlows   int
+	markK     int // ECN threshold
+	qSize     int // DCTCP-family / PASE buffer scale
+	epoch     sim.Duration
+}
+
+func scenario(s Scenario) scenarioSpec {
+	switch s {
+	case LeftRight:
+		return scenarioSpec{
+			topo: topology.Baseline,
+			pattern: func(n *topology.Network) workload.Pattern {
+				return workload.LeftRight{
+					Left:  workload.HostRange(0, 80),
+					Right: workload.HostRange(80, 160),
+				}
+			},
+			sizes:     workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+			reference: leftRightReference,
+			bgFlows:   BackgroundFlows,
+			markK:     MarkingThreshold,
+			qSize:     DCTCPQueueSize,
+			epoch:     300 * sim.Microsecond,
+		}
+	case IntraRack:
+		return scenarioSpec{
+			topo: func(nq func(topology.QueueKind) netem.Queue) topology.Config {
+				return topology.SingleRack(IntraRackHosts, nq)
+			},
+			pattern: func(n *topology.Network) workload.Pattern {
+				return workload.AllToAll{Hosts: workload.HostRange(0, IntraRackHosts)}
+			},
+			sizes:     workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+			reference: intraRackReference(IntraRackHosts),
+			bgFlows:   BackgroundFlows,
+			markK:     MarkingThreshold,
+			qSize:     DCTCPQueueSize,
+			epoch:     100 * sim.Microsecond,
+		}
+	case IntraRackLarge:
+		sp := scenario(IntraRack)
+		sp.sizes = workload.UniformSize{Min: DeadlineFlowMin, Max: DeadlineFlowMax}
+		return sp
+	case WorkerAgg:
+		sp := scenario(IntraRack)
+		sp.fanin = WorkerFanin
+		return sp
+	case Deadline:
+		sp := scenario(IntraRackLarge)
+		sp.deadlines = true
+		return sp
+	case LeafSpine:
+		ls := topology.DefaultLeafSpine(nil)
+		return scenarioSpec{
+			buildLS: &ls,
+			pattern: func(n *topology.Network) workload.Pattern {
+				return workload.AllToAll{Hosts: workload.HostRange(0, ls.Leaves*ls.HostsPerLeaf)}
+			},
+			sizes: workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+			// Load is defined against the total leaf-spine fabric
+			// capacity actually reachable by edge-limited hosts.
+			reference: netem.BitRate(ls.Leaves*ls.HostsPerLeaf) * netem.Gbps,
+			bgFlows:   BackgroundFlows,
+			markK:     MarkingThreshold,
+			qSize:     DCTCPQueueSize,
+			epoch:     200 * sim.Microsecond,
+		}
+	case Testbed:
+		return scenarioSpec{
+			topo: topology.Testbed,
+			pattern: func(n *topology.Network) workload.Pattern {
+				return workload.LeftRight{
+					Left:  workload.HostRange(0, 9),
+					Right: []pkt.NodeID{9},
+				}
+			},
+			sizes:     workload.UniformSize{Min: DeadlineFlowMin, Max: DeadlineFlowMax},
+			reference: netem.Gbps, // the server's access link
+			bgFlows:   1,
+			markK:     20,
+			qSize:     100,
+			epoch:     250 * sim.Microsecond,
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown scenario %q", s))
+}
+
+// queueFactory picks the switch discipline the protocol assumes.
+func queueFactory(p Protocol, sp scenarioSpec, numQueues int) func(topology.QueueKind) netem.Queue {
+	switch p {
+	case PFabric:
+		return func(topology.QueueKind) netem.Queue { return netem.NewPFabric(PFabricQueueSize) }
+	case PDQ:
+		return func(topology.QueueKind) netem.Queue { return netem.NewDropTail(PDQQueueSize) }
+	case PASE:
+		// Simulation: one 500-packet buffer per port shared by the
+		// priority classes, with push-out (Table 3). Testbed: the
+		// Linux PRIO/CBQ arrangement — each class its own 100-packet
+		// qdisc (§3.3 / §4.4).
+		limit := PASEQueueSize
+		perBand := false
+		if sp.qSize < DCTCPQueueSize {
+			limit = sp.qSize
+			perBand = true
+		}
+		return func(topology.QueueKind) netem.Queue {
+			q := netem.NewPrio(numQueues, limit, sp.markK)
+			q.PerBand = perBand
+			return q
+		}
+	default: // the DCTCP family
+		return func(topology.QueueKind) netem.Queue { return netem.NewREDECN(sp.qSize, sp.markK) }
+	}
+}
+
+// RunPoint executes one simulation point.
+func RunPoint(cfg PointConfig) PointResult {
+	sp := scenario(cfg.Scenario)
+	numFlows := cfg.NumFlows
+	if numFlows == 0 {
+		numFlows = 2000
+	}
+	numQueues := cfg.PASE.NumQueues
+	if numQueues == 0 {
+		numQueues = PASENumQueues
+	}
+
+	eng := sim.NewEngine()
+	var net *topology.Network
+	if sp.buildLS != nil {
+		ls := *sp.buildLS
+		ls.NewQueue = queueFactory(cfg.Protocol, sp, numQueues)
+		net = topology.BuildLeafSpine(eng, ls)
+	} else {
+		net = topology.Build(eng, sp.topo(queueFactory(cfg.Protocol, sp, numQueues)))
+	}
+	d := transport.NewDriver(net, nil)
+
+	var pdqSys *pdq.System
+	var paseSys *arbitration.System
+	switch cfg.Protocol {
+	case DCTCP:
+		c := DefaultDCTCP()
+		for _, st := range d.Stacks {
+			st.NewControl = dctcp.New(c)
+		}
+	case D2TCP:
+		c := DefaultD2TCP()
+		for _, st := range d.Stacks {
+			st.NewControl = d2tcp.New(c)
+		}
+	case L2DCT:
+		c := DefaultL2DCT()
+		for _, st := range d.Stacks {
+			st.NewControl = l2dct.New(c)
+		}
+	case PFabric:
+		c := DefaultPFabric()
+		for _, st := range d.Stacks {
+			st.NewControl = pfabric.New(c)
+		}
+	case PDQ:
+		c := DefaultPDQ()
+		c.EarlyTermination = sp.deadlines
+		pdqSys = pdq.Attach(d, c)
+	case PASE:
+		p := DefaultPASEParams()
+		p.Epoch = sp.epoch
+		p.CtrlPerHop = net.Cfg.LinkDelay + 5*sim.Microsecond
+		p.NumQueues = numQueues
+		p.LocalOnly = cfg.PASE.LocalOnly
+		p.EarlyPruning = !cfg.PASE.NoPruning
+		p.Delegation = !cfg.PASE.NoDelegation
+		ec := DefaultPASEEndhost()
+		ec.UseRefRate = !cfg.PASE.DisableRefRate
+		ec.Probing = !cfg.PASE.DisableProbing
+		ec.ReorderGuard = !cfg.PASE.NoReorderGuard
+		ec.TaskAware = cfg.PASE.TaskAware
+		paseSys, _ = core.Attach(d, p, ec)
+	default:
+		panic(fmt.Sprintf("experiments: unknown protocol %q", cfg.Protocol))
+	}
+
+	spec := workload.Spec{
+		Pattern:         sp.pattern(net),
+		Sizes:           sp.sizes,
+		Load:            cfg.Load,
+		Reference:       sp.reference,
+		NumFlows:        numFlows,
+		Fanin:           sp.fanin,
+		BackgroundFlows: sp.bgFlows,
+	}
+	if sp.deadlines {
+		spec.DeadlineMin = DeadlineLo
+		spec.DeadlineMax = DeadlineHi
+	}
+	flows := spec.Generate(sim.NewRand(cfg.Seed+1), 1)
+	d.Schedule(flows)
+
+	span := flows[len(flows)-1].Start
+	maxTime := span + sim.Time(10*sim.Second)
+	summary, err := d.Run(maxTime)
+	if err != nil {
+		panic(err)
+	}
+
+	res := PointResult{
+		Summary: summary,
+		CDF:     d.Collector.CDF(200),
+		Queues:  net.QueueStatsTotal(),
+		Records: d.Collector.Records(),
+	}
+	// Loss rate: every data packet dropped anywhere in the fabric over
+	// the data packets the hosts attempted to transmit.
+	host := net.HostQueueStats()
+	if att := host.EnqueuedData + host.DroppedData; att > 0 {
+		res.LossRate = float64(res.Queues.DroppedData) / float64(att)
+	}
+	if pdqSys != nil {
+		res.CtrlMessages = pdqSys.SyncMessages
+	}
+	if paseSys != nil {
+		res.CtrlMessages = paseSys.Stats.Messages
+	}
+	return res
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"pase/internal/core"
+	"pase/internal/netem"
+	"pase/internal/sim"
+	"pase/internal/topology"
+	"pase/internal/transport"
+	"pase/internal/transport/pfabric"
+	"pase/internal/workload"
+)
+
+// RunToy executes the Figure 3 toy scenario under the given protocol
+// and returns the FCTs of flows 1..3.
+//
+// Topology: one rack, hosts {0: src1, 1: src2, 2: dst1, 3: dst2}.
+// Flow 1: src1→dst1, 0.5 MB (highest priority: smallest size).
+// Flow 2: src2→dst1, 0.75 MB (medium).
+// Flow 3: src2→dst2, 1.0 MB (lowest).
+// Link A is src2's uplink (flows 2, 3); link B is dst1's downlink
+// (flows 1, 2). Flows 1 and 3 are link-disjoint.
+func RunToy(p Protocol) [3]sim.Duration {
+	eng := sim.NewEngine()
+	var qf func(topology.QueueKind) netem.Queue
+	switch p {
+	case PFabric:
+		qf = func(topology.QueueKind) netem.Queue { return netem.NewPFabric(PFabricQueueSize) }
+	case PASE:
+		qf = func(topology.QueueKind) netem.Queue {
+			return netem.NewPrio(PASENumQueues, PASEQueueSize, MarkingThreshold)
+		}
+	default:
+		panic("experiments: toy scenario compares pFabric and PASE")
+	}
+	net := topology.Build(eng, topology.SingleRack(4, qf))
+	d := transport.NewDriver(net, nil)
+	switch p {
+	case PFabric:
+		c := DefaultPFabric()
+		for _, st := range d.Stacks {
+			st.NewControl = pfabric.New(c)
+		}
+	case PASE:
+		params := DefaultPASEParams()
+		params.Epoch = 100 * sim.Microsecond
+		core.Attach(d, params, DefaultPASEEndhost())
+	}
+	d.Schedule([]workload.FlowSpec{
+		{ID: 1, Src: 0, Dst: 2, Size: 500_000, Start: 0},
+		{ID: 2, Src: 1, Dst: 2, Size: 750_000, Start: 0},
+		{ID: 3, Src: 1, Dst: 3, Size: 1_000_000, Start: 0},
+	})
+	if _, err := d.Run(sim.Time(30 * sim.Second)); err != nil {
+		panic(err)
+	}
+	var out [3]sim.Duration
+	for _, r := range d.Collector.Records() {
+		if r.Done {
+			out[r.ID-1] = r.FCT()
+		} else {
+			out[r.ID-1] = 30 * sim.Second // never finished within the run
+		}
+	}
+	return out
+}

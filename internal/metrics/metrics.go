@@ -1,0 +1,271 @@
+// Package metrics collects and summarizes the quantities the paper's
+// evaluation reports: flow completion times (average, tail percentiles,
+// CDFs), application throughput (fraction of deadline flows finishing
+// on time), data-plane loss rates, and arbitration control-plane
+// overhead.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pase/internal/sim"
+)
+
+// FlowRecord is the outcome of one finished (or abandoned) flow.
+type FlowRecord struct {
+	ID       uint64
+	Task     uint64 // application-level task (0 = untasked)
+	Size     int64
+	Start    sim.Time
+	Finish   sim.Time
+	Deadline sim.Time // zero when the flow has no deadline
+	Done     bool     // false if the flow never completed before the run ended
+	Retx     int      // retransmitted segments
+	Timeouts int
+}
+
+// FCT returns the flow completion time.
+func (r FlowRecord) FCT() sim.Duration { return r.Finish.Sub(r.Start) }
+
+// MetDeadline reports whether a deadline flow finished on time.
+func (r FlowRecord) MetDeadline() bool {
+	return r.Done && r.Deadline > 0 && r.Finish <= r.Deadline
+}
+
+// Collector accumulates flow records for one simulation run.
+type Collector struct {
+	records []FlowRecord
+	// CtrlMessages counts arbitration control-plane messages
+	// (requests and responses, per hop).
+	CtrlMessages int64
+	// CtrlBytes counts arbitration message bytes offered to the network.
+	CtrlBytes int64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one finished flow.
+func (c *Collector) Add(r FlowRecord) { c.records = append(c.records, r) }
+
+// Records returns everything collected so far.
+func (c *Collector) Records() []FlowRecord { return c.records }
+
+// Completed returns only the flows that finished.
+func (c *Collector) Completed() []FlowRecord {
+	out := make([]FlowRecord, 0, len(c.records))
+	for _, r := range c.records {
+		if r.Done {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary condenses a run into the paper's headline numbers.
+type Summary struct {
+	Flows     int
+	Completed int
+
+	AFCT   sim.Duration // average FCT over completed flows
+	P50    sim.Duration
+	P99    sim.Duration
+	MaxFCT sim.Duration
+
+	// AppThroughput is the fraction of deadline-bearing flows that met
+	// their deadline (deadline flows only; 0 when there are none).
+	AppThroughput float64
+	DeadlineFlows int
+
+	Retx     int64
+	Timeouts int64
+
+	CtrlMessages int64
+	CtrlBytes    int64
+}
+
+// Summarize computes a Summary over completed flows.
+func (c *Collector) Summarize() Summary {
+	s := Summary{Flows: len(c.records), CtrlMessages: c.CtrlMessages, CtrlBytes: c.CtrlBytes}
+	var fcts []sim.Duration
+	var met int
+	for _, r := range c.records {
+		s.Retx += int64(r.Retx)
+		s.Timeouts += int64(r.Timeouts)
+		if r.Deadline > 0 {
+			s.DeadlineFlows++
+			if r.MetDeadline() {
+				met++
+			}
+		}
+		if !r.Done {
+			continue
+		}
+		s.Completed++
+		fcts = append(fcts, r.FCT())
+	}
+	if s.DeadlineFlows > 0 {
+		s.AppThroughput = float64(met) / float64(s.DeadlineFlows)
+	}
+	if len(fcts) == 0 {
+		return s
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	var sum int64
+	for _, d := range fcts {
+		sum += int64(d)
+	}
+	s.AFCT = sim.Duration(sum / int64(len(fcts)))
+	s.P50 = Percentile(fcts, 50)
+	s.P99 = Percentile(fcts, 99)
+	s.MaxFCT = fcts[len(fcts)-1]
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("flows=%d done=%d afct=%.3fms p99=%.3fms appTput=%.3f ctrlMsgs=%d",
+		s.Flows, s.Completed, s.AFCT.Millis(), s.P99.Millis(), s.AppThroughput, s.CtrlMessages)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of a sorted
+// slice using the nearest-rank method. It panics on an empty slice.
+func Percentile(sorted []sim.Duration, p float64) sim.Duration {
+	if len(sorted) == 0 {
+		panic("metrics: percentile of empty slice")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value    sim.Duration
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF computes the empirical CDF of the completed flows' FCTs,
+// downsampled to at most maxPoints evenly spaced quantiles.
+func (c *Collector) CDF(maxPoints int) []CDFPoint {
+	var fcts []sim.Duration
+	for _, r := range c.records {
+		if r.Done {
+			fcts = append(fcts, r.FCT())
+		}
+	}
+	if len(fcts) == 0 {
+		return nil
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	if maxPoints <= 0 || maxPoints > len(fcts) {
+		maxPoints = len(fcts)
+	}
+	out := make([]CDFPoint, 0, maxPoints)
+	for i := 1; i <= maxPoints; i++ {
+		idx := i*len(fcts)/maxPoints - 1
+		out = append(out, CDFPoint{
+			Value:    fcts[idx],
+			Fraction: float64(idx+1) / float64(len(fcts)),
+		})
+	}
+	return out
+}
+
+// TaskRecord summarizes one application-level task (a group of flows
+// sharing FlowRecord.Task).
+type TaskRecord struct {
+	Task  uint64
+	Flows int
+	Start sim.Time // earliest flow start
+	End   sim.Time // latest flow finish
+	Done  bool     // every flow completed
+}
+
+// TCT returns the task completion time.
+func (t TaskRecord) TCT() sim.Duration { return t.End.Sub(t.Start) }
+
+// Tasks groups flow records by task id (ignoring untasked flows) and
+// returns the per-task summaries sorted by task id — the metric
+// task-aware scheduling optimizes.
+func Tasks(records []FlowRecord) []TaskRecord {
+	byTask := make(map[uint64]*TaskRecord)
+	for _, r := range records {
+		if r.Task == 0 {
+			continue
+		}
+		t, ok := byTask[r.Task]
+		if !ok {
+			t = &TaskRecord{Task: r.Task, Start: r.Start, End: r.Finish, Done: true}
+			byTask[r.Task] = t
+		}
+		t.Flows++
+		if r.Start < t.Start {
+			t.Start = r.Start
+		}
+		if r.Finish > t.End {
+			t.End = r.Finish
+		}
+		if !r.Done {
+			t.Done = false
+		}
+	}
+	out := make([]TaskRecord, 0, len(byTask))
+	for _, t := range byTask {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// MeanTCT returns the mean completion time over completed tasks.
+func MeanTCT(tasks []TaskRecord) sim.Duration {
+	var sum int64
+	var n int64
+	for _, t := range tasks {
+		if t.Done {
+			sum += int64(t.TCT())
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sim.Duration(sum / n)
+}
+
+// TaskOrderInversions counts pairs of completed tasks that finished in
+// the opposite order to their arrival — 0 means perfect FIFO service
+// across tasks.
+func TaskOrderInversions(tasks []TaskRecord) int {
+	inv := 0
+	for i := 0; i < len(tasks); i++ {
+		if !tasks[i].Done {
+			continue
+		}
+		for j := i + 1; j < len(tasks); j++ {
+			if tasks[j].Done && tasks[j].End < tasks[i].End {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+// Mean returns the arithmetic mean of a slice of durations.
+func Mean(ds []sim.Duration) sim.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, d := range ds {
+		sum += int64(d)
+	}
+	return sim.Duration(sum / int64(len(ds)))
+}

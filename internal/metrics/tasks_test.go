@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"testing"
+
+	"pase/internal/sim"
+)
+
+func taskRec(task uint64, start, finish sim.Time, done bool) FlowRecord {
+	return FlowRecord{Task: task, Start: start, Finish: finish, Done: done, Size: 1}
+}
+
+func TestTasksGrouping(t *testing.T) {
+	recs := []FlowRecord{
+		taskRec(1, 10, 100, true),
+		taskRec(1, 12, 150, true),
+		taskRec(2, 20, 90, true),
+		taskRec(0, 5, 500, true), // untasked: ignored
+		taskRec(3, 30, 0, false), // incomplete flow
+		taskRec(3, 31, 70, true),
+	}
+	tasks := Tasks(recs)
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(tasks))
+	}
+	if tasks[0].Task != 1 || tasks[0].Flows != 2 || tasks[0].Start != 10 || tasks[0].End != 150 || !tasks[0].Done {
+		t.Fatalf("task 1 wrong: %+v", tasks[0])
+	}
+	if tasks[0].TCT() != 140 {
+		t.Fatalf("task 1 TCT = %v", tasks[0].TCT())
+	}
+	if tasks[2].Done {
+		t.Fatal("task 3 has an incomplete flow and must not be Done")
+	}
+}
+
+func TestMeanTCT(t *testing.T) {
+	tasks := []TaskRecord{
+		{Task: 1, Start: 0, End: 100, Done: true},
+		{Task: 2, Start: 0, End: 300, Done: true},
+		{Task: 3, Start: 0, End: 900, Done: false}, // excluded
+	}
+	if got := MeanTCT(tasks); got != 200 {
+		t.Fatalf("mean TCT = %v, want 200", got)
+	}
+	if MeanTCT(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestTaskOrderInversions(t *testing.T) {
+	// Tasks 1,2,3 arrived in order; 3 finished before 2.
+	tasks := []TaskRecord{
+		{Task: 1, End: 100, Done: true},
+		{Task: 2, End: 300, Done: true},
+		{Task: 3, End: 200, Done: true},
+	}
+	if got := TaskOrderInversions(tasks); got != 1 {
+		t.Fatalf("inversions = %d, want 1", got)
+	}
+	// Perfect FIFO: zero.
+	fifo := []TaskRecord{
+		{Task: 1, End: 1, Done: true},
+		{Task: 2, End: 2, Done: true},
+		{Task: 3, End: 3, Done: true},
+	}
+	if got := TaskOrderInversions(fifo); got != 0 {
+		t.Fatalf("fifo inversions = %d, want 0", got)
+	}
+}

@@ -1,0 +1,38 @@
+package netem
+
+import (
+	"testing"
+
+	"pase/internal/pkt"
+)
+
+func benchPackets(n int) []*pkt.Packet {
+	ps := make([]*pkt.Packet, n)
+	for i := range ps {
+		ps[i] = &pkt.Packet{
+			Flow: pkt.FlowID(i % 16), Seq: int32(i),
+			Prio: int8(i % 8), Rank: int64(i % 977),
+			Size: pkt.MTU, Type: pkt.Data, ECT: true,
+		}
+	}
+	return ps
+}
+
+func benchQueue(b *testing.B, q Queue) {
+	b.Helper()
+	ps := benchPackets(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ps[i%len(ps)]
+		p.CE = false
+		q.Enqueue(p)
+		if i%2 == 1 {
+			q.Dequeue()
+		}
+	}
+}
+
+func BenchmarkDropTail(b *testing.B) { benchQueue(b, NewDropTail(225)) }
+func BenchmarkREDECN(b *testing.B)   { benchQueue(b, NewREDECN(225, 65)) }
+func BenchmarkPrio8(b *testing.B)    { benchQueue(b, NewPrio(8, 500, 65)) }
+func BenchmarkPFabric(b *testing.B)  { benchQueue(b, NewPFabric(76)) }

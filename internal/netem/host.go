@@ -1,0 +1,46 @@
+package netem
+
+import (
+	"pase/internal/pkt"
+)
+
+// Host is an end system with a single NIC port. The transport layer
+// installs a Handler to receive packets; Send transmits through the
+// NIC's egress queue (so hosts experience their own serialization
+// delays and queueing, as the paper's endpoints do).
+type Host struct {
+	id      pkt.NodeID
+	name    string
+	port    *Port
+	Handler func(p *pkt.Packet)
+}
+
+// NewHost creates a host node.
+func NewHost(id pkt.NodeID, name string) *Host {
+	return &Host{id: id, name: name}
+}
+
+// ID implements Node.
+func (h *Host) ID() pkt.NodeID { return h.id }
+
+// Name returns the host's label.
+func (h *Host) Name() string { return h.name }
+
+// SetPort attaches the NIC port (done by the topology builder).
+func (h *Host) SetPort(p *Port) { h.port = p }
+
+// Port returns the NIC port.
+func (h *Host) Port() *Port { return h.port }
+
+// Receive implements Node by delivering to the installed handler.
+func (h *Host) Receive(p *pkt.Packet, _ *Port) {
+	if h.Handler != nil {
+		h.Handler(p)
+	}
+}
+
+// Send transmits a packet out of the NIC.
+func (h *Host) Send(p *pkt.Packet) {
+	p.Hops++
+	h.port.Send(p)
+}

@@ -1,0 +1,104 @@
+package netem
+
+import (
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// Port is one direction of a link: an egress queue plus a transmitter
+// that clocks packets out at the port rate, followed by the link's
+// propagation delay. Full-duplex links are a pair of connected ports.
+type Port struct {
+	// Name labels the port for diagnostics ("tor0->agg0").
+	Name string
+
+	eng   *sim.Engine
+	queue Queue
+	rate  BitRate
+	delay sim.Duration
+
+	peer  *Port
+	owner Node
+
+	busy bool
+
+	// TxPackets / TxBytes count what was actually transmitted.
+	TxPackets int64
+	TxBytes   int64
+	// busyTime accumulates transmitter-active time for utilization.
+	busyTime sim.Duration
+}
+
+// NewPort builds a port owned by node, draining q at rate with the
+// given one-way propagation delay.
+func NewPort(eng *sim.Engine, owner Node, q Queue, rate BitRate, delay sim.Duration) *Port {
+	return &Port{eng: eng, owner: owner, queue: q, rate: rate, delay: delay}
+}
+
+// Connect wires two ports as the two directions of one full-duplex link.
+func Connect(a, b *Port) {
+	a.peer = b
+	b.peer = a
+}
+
+// Owner returns the node this port belongs to.
+func (pt *Port) Owner() Node { return pt.owner }
+
+// Peer returns the port at the other end of the link.
+func (pt *Port) Peer() *Port { return pt.peer }
+
+// Queue returns the port's egress queue.
+func (pt *Port) Queue() Queue { return pt.queue }
+
+// Rate returns the port's transmit rate.
+func (pt *Port) Rate() BitRate { return pt.rate }
+
+// PropDelay returns the link's one-way propagation delay.
+func (pt *Port) PropDelay() sim.Duration { return pt.delay }
+
+// Send offers a packet to the egress queue and kicks the transmitter.
+// Drops are absorbed by the queue discipline (and its stats).
+func (pt *Port) Send(p *pkt.Packet) {
+	if pt.peer == nil {
+		panic("netem: Send on unconnected port " + pt.Name)
+	}
+	p.EnqAt = pt.eng.Now()
+	if !pt.queue.Enqueue(p) {
+		return
+	}
+	pt.pump()
+}
+
+// pump starts a transmission if the line is idle and a packet waits.
+func (pt *Port) pump() {
+	if pt.busy {
+		return
+	}
+	p := pt.queue.Dequeue()
+	if p == nil {
+		return
+	}
+	pt.busy = true
+	ser := pt.rate.Serialize(p.Size)
+	pt.busyTime += ser
+	pt.TxPackets++
+	pt.TxBytes += int64(p.Size)
+	// Line becomes free after serialization; the packet lands at the
+	// peer one propagation delay later.
+	pt.eng.Schedule(ser, func() {
+		pt.busy = false
+		pt.pump()
+	})
+	pt.eng.Schedule(ser+pt.delay, func() {
+		pt.peer.owner.Receive(p, pt.peer)
+	})
+}
+
+// Utilization reports the fraction of [0, now] the transmitter was busy.
+func (pt *Port) Utilization() float64 {
+	now := pt.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(pt.busyTime) / float64(now)
+}

@@ -1,0 +1,107 @@
+package netem
+
+import "pase/internal/pkt"
+
+// PFabric is the pFabric switch queue: a single small shared buffer
+// with priority dropping and priority scheduling on the fine-grained
+// Rank header (lower Rank = more urgent; pFabric sets Rank to the
+// flow's remaining size).
+//
+//   - Dropping: when the buffer is full and a packet arrives, the
+//     queued packet with the largest Rank is evicted if it is less
+//     urgent than the arrival; otherwise the arrival is dropped.
+//   - Scheduling: dequeue picks the packet with the smallest Rank, but
+//     then actually transmits the earliest (lowest-Seq) queued packet
+//     of that packet's flow, which avoids flow-internal reordering
+//     (the "starvation prevention" rule in the pFabric paper).
+//
+// The buffer is tiny (≈2×BDP) so linear scans are appropriate — real
+// pFabric hardware does the same comparisons in parallel.
+type PFabric struct {
+	Limit int
+	q     []*pkt.Packet
+	bytes int64
+	stats QueueStats
+	arr   uint64 // arrival counter for deterministic tie-breaks
+	arrOf map[*pkt.Packet]uint64
+}
+
+// NewPFabric returns a pFabric queue bounded at limit packets.
+func NewPFabric(limit int) *PFabric {
+	return &PFabric{Limit: limit, arrOf: make(map[*pkt.Packet]uint64)}
+}
+
+// Enqueue implements Queue.
+func (f *PFabric) Enqueue(p *pkt.Packet) bool {
+	if len(f.q) >= f.Limit {
+		vi := f.worst()
+		if vi < 0 || f.q[vi].Rank <= p.Rank {
+			f.stats.drop(p)
+			return false
+		}
+		victim := f.q[vi]
+		f.removeAt(vi)
+		f.stats.drop(victim)
+	}
+	f.arr++
+	f.arrOf[p] = f.arr
+	f.q = append(f.q, p)
+	f.bytes += int64(p.Size)
+	f.stats.accept(p)
+	f.stats.noteLen(len(f.q))
+	return true
+}
+
+// worst returns the index of the least urgent packet (largest Rank,
+// breaking ties toward the most recent arrival), or -1 if empty.
+func (f *PFabric) worst() int {
+	best := -1
+	for i, p := range f.q {
+		if best < 0 || p.Rank > f.q[best].Rank ||
+			(p.Rank == f.q[best].Rank && f.arrOf[p] > f.arrOf[f.q[best]]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dequeue implements Queue.
+func (f *PFabric) Dequeue() *pkt.Packet {
+	if len(f.q) == 0 {
+		return nil
+	}
+	// Most urgent packet decides which flow transmits...
+	best := 0
+	for i, p := range f.q {
+		if p.Rank < f.q[best].Rank ||
+			(p.Rank == f.q[best].Rank && f.arrOf[p] < f.arrOf[f.q[best]]) {
+			best = i
+		}
+	}
+	flow := f.q[best].Flow
+	// ...but the flow's earliest segment goes first.
+	sel := best
+	for i, p := range f.q {
+		if p.Flow == flow && (p.Seq < f.q[sel].Seq ||
+			(p.Seq == f.q[sel].Seq && f.arrOf[p] < f.arrOf[f.q[sel]])) {
+			sel = i
+		}
+	}
+	p := f.q[sel]
+	f.removeAt(sel)
+	f.stats.Dequeued++
+	return p
+}
+
+func (f *PFabric) removeAt(i int) {
+	p := f.q[i]
+	f.bytes -= int64(p.Size)
+	delete(f.arrOf, p)
+	f.q[i] = f.q[len(f.q)-1]
+	f.q[len(f.q)-1] = nil
+	f.q = f.q[:len(f.q)-1]
+}
+
+func (f *PFabric) Len() int           { return len(f.q) }
+func (f *PFabric) Bytes() int64       { return f.bytes }
+func (f *PFabric) Stats() *QueueStats { return &f.stats }

@@ -1,0 +1,124 @@
+package netem
+
+import "pase/internal/pkt"
+
+// Prio is the commodity-switch discipline PASE relies on: a small,
+// fixed number of strict-priority bands (classes) in front of one
+// egress link, with DCTCP-style ECN marking per band. It models the
+// PRIO/CBQ-over-RED configuration from the paper's testbed (§3.3).
+//
+// Buffering is shared across bands up to Limit packets. When the
+// buffer is full and a packet of band b arrives, the discipline drops
+// the newest packet from the lowest-priority non-empty band strictly
+// below b ("push-out"); if no such band exists the arrival itself is
+// dropped. Commodity shared-buffer switches approximate this with
+// per-class dynamic thresholds; the flag DisablePushOut reverts to
+// plain shared drop-tail for ablation.
+//
+// Marking: an arriving ECN-capable packet is marked when its own
+// band's occupancy is at or above K. Per-band marking keeps the many
+// one-packet windows parked in the bottom band (PASE's paused flows)
+// from spuriously marking top-band traffic.
+type Prio struct {
+	Limit          int
+	K              int
+	Bands          int
+	DisablePushOut bool
+	// PerBand gives every band its own Limit-packet queue instead of
+	// sharing one buffer — the Linux PRIO/CBQ arrangement of the
+	// paper's testbed, where each class has an independent qdisc.
+	PerBand bool
+
+	bands []fifo
+	total int
+	bytes int64
+	stats QueueStats
+}
+
+// NewPrio returns a strict-priority queue with the given number of
+// bands, shared buffer limit and per-band marking threshold K (all in
+// packets).
+func NewPrio(bands, limit, k int) *Prio {
+	if bands < 1 {
+		panic("netem: Prio needs at least one band")
+	}
+	return &Prio{Limit: limit, K: k, Bands: bands, bands: make([]fifo, bands)}
+}
+
+// band clamps a packet's priority class into the configured range.
+func (q *Prio) band(p *pkt.Packet) int {
+	b := int(p.Prio)
+	if b < 0 {
+		b = 0
+	}
+	if b >= q.Bands {
+		b = q.Bands - 1
+	}
+	return b
+}
+
+// Enqueue implements Queue.
+func (q *Prio) Enqueue(p *pkt.Packet) bool {
+	b := q.band(p)
+	if q.PerBand {
+		if q.bands[b].len() >= q.Limit {
+			q.stats.drop(p)
+			return false
+		}
+	} else if q.total >= q.Limit {
+		if q.DisablePushOut || !q.pushOutBelow(b) {
+			q.stats.drop(p)
+			return false
+		}
+	}
+	if p.ECT && q.bands[b].len() >= q.K {
+		p.CE = true
+		q.stats.Marked++
+	}
+	q.bands[b].push(p)
+	q.total++
+	q.bytes += int64(p.Size)
+	q.stats.accept(p)
+	q.stats.noteLen(q.total)
+	return true
+}
+
+// pushOutBelow drops the newest packet of the lowest-priority
+// non-empty band strictly below priority b. It reports whether room
+// was made.
+func (q *Prio) pushOutBelow(b int) bool {
+	for v := q.Bands - 1; v > b; v-- {
+		if q.bands[v].empty() {
+			continue
+		}
+		victim := q.bands[v].popTail()
+		q.total--
+		q.bytes -= int64(victim.Size)
+		q.stats.drop(victim)
+		return true
+	}
+	return false
+}
+
+// Dequeue implements Queue: strict priority, band 0 first.
+func (q *Prio) Dequeue() *pkt.Packet {
+	for b := 0; b < q.Bands; b++ {
+		if q.bands[b].empty() {
+			continue
+		}
+		p := q.bands[b].pop()
+		q.total--
+		q.bytes -= int64(p.Size)
+		q.stats.Dequeued++
+		return p
+	}
+	return nil
+}
+
+func (q *Prio) Len() int           { return q.total }
+func (q *Prio) Bytes() int64       { return q.bytes }
+func (q *Prio) Stats() *QueueStats { return &q.stats }
+
+// BandLen returns the occupancy of one band (exported for tests and
+// for the micro-benchmarks that inspect queue composition).
+func (q *Prio) BandLen(b int) int { return q.bands[b].len() }

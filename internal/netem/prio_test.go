@@ -1,0 +1,88 @@
+package netem
+
+import (
+	"testing"
+
+	"pase/internal/pkt"
+)
+
+func TestPrioPerBandIndependentLimits(t *testing.T) {
+	q := NewPrio(4, 3, 50)
+	q.PerBand = true
+	// Fill band 1 to its limit.
+	for i := int32(0); i < 3; i++ {
+		if !q.Enqueue(mkpkt(1, i, 1, 0)) {
+			t.Fatal("band 1 should accept up to its limit")
+		}
+	}
+	if q.Enqueue(mkpkt(1, 3, 1, 0)) {
+		t.Fatal("band 1 over limit must drop")
+	}
+	// Other bands are unaffected by band 1 being full.
+	if !q.Enqueue(mkpkt(2, 0, 0, 0)) || !q.Enqueue(mkpkt(3, 0, 3, 0)) {
+		t.Fatal("other bands must still accept")
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d, want 5", q.Len())
+	}
+	if q.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", q.Stats().Dropped)
+	}
+}
+
+func TestPrioPerBandNoPushOut(t *testing.T) {
+	q := NewPrio(2, 2, 50)
+	q.PerBand = true
+	q.Enqueue(mkpkt(1, 0, 1, 0))
+	q.Enqueue(mkpkt(1, 1, 1, 0))
+	// A high-priority arrival does not evict low-band packets in
+	// per-band mode; it has its own empty band.
+	if !q.Enqueue(mkpkt(2, 0, 0, 0)) {
+		t.Fatal("band 0 arrival should be accepted into its own band")
+	}
+	if q.Stats().Dropped != 0 {
+		t.Fatal("per-band mode must not push out")
+	}
+}
+
+func TestPrioPerBandMarking(t *testing.T) {
+	q := NewPrio(2, 100, 2)
+	q.PerBand = true
+	for i := int32(0); i < 5; i++ {
+		q.Enqueue(mkpkt(1, i, 1, 0))
+	}
+	marked := 0
+	for q.Len() > 0 {
+		if q.Dequeue().CE {
+			marked++
+		}
+	}
+	if marked != 3 { // arrivals 2,3,4 saw occupancy >= K
+		t.Fatalf("marked = %d, want 3", marked)
+	}
+}
+
+func TestPrioBytesAccounting(t *testing.T) {
+	q := NewPrio(3, 10, 50)
+	p1 := mkpkt(1, 0, 0, 0)
+	p2 := mkpkt(2, 0, 2, 0)
+	p2.Size = 40
+	q.Enqueue(p1)
+	q.Enqueue(p2)
+	if q.Bytes() != int64(pkt.MTU+40) {
+		t.Fatalf("bytes = %d", q.Bytes())
+	}
+	q.Dequeue()
+	if q.Bytes() != 40 {
+		t.Fatalf("bytes after dequeue = %d", q.Bytes())
+	}
+}
+
+func TestPrioPanicsOnZeroBands(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPrio(0, 10, 5)
+}

@@ -1,0 +1,201 @@
+package netem
+
+import "pase/internal/pkt"
+
+// Queue is an egress queueing discipline. Enqueue either accepts the
+// packet or drops it (possibly dropping a different, lower-priority
+// packet to make room — "push-out"); all drops are recorded in Stats.
+type Queue interface {
+	// Enqueue offers p to the queue. It reports whether p itself was
+	// accepted. Disciplines with push-out may accept p while dropping
+	// another packet.
+	Enqueue(p *pkt.Packet) bool
+	// Dequeue removes and returns the next packet to transmit, or nil
+	// if the queue is empty.
+	Dequeue() *pkt.Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int64
+	// Stats exposes the discipline's counters.
+	Stats() *QueueStats
+}
+
+// QueueStats counts what happened at one queue.
+type QueueStats struct {
+	Enqueued     int64
+	Dequeued     int64
+	Dropped      int64
+	DroppedBytes int64
+	Marked       int64 // packets that got CE set here
+	// EnqueuedData / DroppedData count data-plane packets only —
+	// Fig 4's loss-rate metric ignores ACKs and control traffic.
+	EnqueuedData int64
+	DroppedData  int64
+	MaxLen       int
+}
+
+func (s *QueueStats) drop(p *pkt.Packet) {
+	s.Dropped++
+	s.DroppedBytes += int64(p.Size)
+	if p.Type == pkt.Data {
+		s.DroppedData++
+	}
+}
+
+func (s *QueueStats) accept(p *pkt.Packet) {
+	s.Enqueued++
+	if p.Type == pkt.Data {
+		s.EnqueuedData++
+	}
+}
+
+func (s *QueueStats) noteLen(n int) {
+	if n > s.MaxLen {
+		s.MaxLen = n
+	}
+}
+
+// fifo is a slice-backed ring buffer of packets, the building block of
+// the disciplines below.
+type fifo struct {
+	buf   []*pkt.Packet
+	head  int
+	n     int
+	bytes int64
+}
+
+func (f *fifo) len() int    { return f.n }
+func (f *fifo) size() int64 { return f.bytes }
+func (f *fifo) empty() bool { return f.n == 0 }
+
+func (f *fifo) push(p *pkt.Packet) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.n++
+	f.bytes += int64(p.Size)
+}
+
+func (f *fifo) pop() *pkt.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	f.bytes -= int64(p.Size)
+	return p
+}
+
+// popTail removes the newest packet (used for push-out drops).
+func (f *fifo) popTail() *pkt.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	i := (f.head + f.n - 1) % len(f.buf)
+	p := f.buf[i]
+	f.buf[i] = nil
+	f.n--
+	f.bytes -= int64(p.Size)
+	return p
+}
+
+func (f *fifo) grow() {
+	size := len(f.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	nb := make([]*pkt.Packet, size)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = nb
+	f.head = 0
+}
+
+// DropTail is a plain FIFO queue with a fixed packet-count limit.
+type DropTail struct {
+	Limit int
+	q     fifo
+	stats QueueStats
+}
+
+// NewDropTail returns a FIFO bounded at limit packets.
+func NewDropTail(limit int) *DropTail {
+	return &DropTail{Limit: limit}
+}
+
+// Enqueue implements Queue.
+func (d *DropTail) Enqueue(p *pkt.Packet) bool {
+	if d.q.len() >= d.Limit {
+		d.stats.drop(p)
+		return false
+	}
+	d.q.push(p)
+	d.stats.accept(p)
+	d.stats.noteLen(d.q.len())
+	return true
+}
+
+// Dequeue implements Queue.
+func (d *DropTail) Dequeue() *pkt.Packet {
+	p := d.q.pop()
+	if p != nil {
+		d.stats.Dequeued++
+	}
+	return p
+}
+
+func (d *DropTail) Len() int           { return d.q.len() }
+func (d *DropTail) Bytes() int64       { return d.q.size() }
+func (d *DropTail) Stats() *QueueStats { return &d.stats }
+
+// REDECN is the DCTCP-style active queue: a FIFO that sets the CE
+// codepoint on an arriving ECN-capable packet whenever the
+// instantaneous queue length is at or above the marking threshold K
+// (marking on instantaneous occupancy is what DCTCP prescribes, in
+// contrast to classic RED's averaged occupancy).
+type REDECN struct {
+	Limit int
+	K     int
+	q     fifo
+	stats QueueStats
+}
+
+// NewREDECN returns a marking FIFO with the given capacity and
+// threshold (both in packets).
+func NewREDECN(limit, k int) *REDECN {
+	return &REDECN{Limit: limit, K: k}
+}
+
+// Enqueue implements Queue.
+func (r *REDECN) Enqueue(p *pkt.Packet) bool {
+	if r.q.len() >= r.Limit {
+		r.stats.drop(p)
+		return false
+	}
+	if p.ECT && r.q.len() >= r.K {
+		p.CE = true
+		r.stats.Marked++
+	}
+	r.q.push(p)
+	r.stats.accept(p)
+	r.stats.noteLen(r.q.len())
+	return true
+}
+
+// Dequeue implements Queue.
+func (r *REDECN) Dequeue() *pkt.Packet {
+	p := r.q.pop()
+	if p != nil {
+		r.stats.Dequeued++
+	}
+	return p
+}
+
+func (r *REDECN) Len() int           { return r.q.len() }
+func (r *REDECN) Bytes() int64       { return r.q.size() }
+func (r *REDECN) Stats() *QueueStats { return &r.stats }

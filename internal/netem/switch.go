@@ -1,0 +1,66 @@
+package netem
+
+import (
+	"fmt"
+
+	"pase/internal/pkt"
+)
+
+// Switch is an output-queued switch: packets arriving on any port are
+// routed (via the table installed by the topology) to an egress port
+// and enqueued there. All queueing behaviour lives in the egress
+// queue discipline.
+type Switch struct {
+	id    pkt.NodeID
+	name  string
+	ports []*Port
+	// nextHop maps destination host id -> egress port index.
+	nextHop map[pkt.NodeID]int
+	// FlowRoute, when set, routes packets whose destination has no
+	// nextHop entry — multipath fabrics hash the flow id here (ECMP).
+	FlowRoute func(p *pkt.Packet) int
+}
+
+// NewSwitch creates a switch with the given id and name.
+func NewSwitch(id pkt.NodeID, name string) *Switch {
+	return &Switch{id: id, name: name, nextHop: make(map[pkt.NodeID]int)}
+}
+
+// ID implements Node.
+func (s *Switch) ID() pkt.NodeID { return s.id }
+
+// Name returns the switch's human-readable label.
+func (s *Switch) Name() string { return s.name }
+
+// AddPort registers an egress port and returns its index.
+func (s *Switch) AddPort(p *Port) int {
+	s.ports = append(s.ports, p)
+	return len(s.ports) - 1
+}
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Ports returns all ports of the switch.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// SetRoute installs the egress port index for a destination host.
+func (s *Switch) SetRoute(dst pkt.NodeID, portIndex int) {
+	s.nextHop[dst] = portIndex
+}
+
+// Receive implements Node: route and forward.
+func (s *Switch) Receive(p *pkt.Packet, _ *Port) {
+	p.Hops++
+	if p.Hops > 32 {
+		panic(fmt.Sprintf("netem: routing loop for %v at %s", p, s.name))
+	}
+	idx, ok := s.nextHop[p.Dst]
+	if !ok {
+		if s.FlowRoute == nil {
+			panic(fmt.Sprintf("netem: %s has no route to node %d", s.name, p.Dst))
+		}
+		idx = s.FlowRoute(p)
+	}
+	s.ports[idx].Send(p)
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is the discrete-event simulation core. It owns the virtual
+// clock and the pending-event calendar. All model components schedule
+// callbacks on the engine; Run drains the calendar in time order.
+//
+// Engine is not safe for concurrent use: the whole simulation runs on
+// one goroutine, which keeps event execution deterministic.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64 // monotonically increasing tie-breaker
+	stopped bool
+	// Executed counts the number of events dispatched so far; it is
+	// exposed for tests and for runaway-simulation guards.
+	Executed uint64
+	// Limit, when non-zero, aborts Run with an error after that many
+	// events. It protects against accidental infinite event loops.
+	Limit uint64
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Timer is a handle to a scheduled event, used for cancellation.
+// A nil *Timer is valid and inert: Stop on it is a no-op.
+type Timer struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once popped or stopped
+	stopped  bool
+	engine   *Engine
+	priority int8 // lower fires first among events at the same instant
+}
+
+// Stop cancels the timer. It reports whether the timer was still
+// pending (false if it had already fired or been stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	heap.Remove(&t.engine.events, t.index)
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t != nil && !t.stopped && t.index >= 0 }
+
+// Deadline returns the time at which the timer fires (or fired).
+func (t *Timer) Deadline() Time { return t.at }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero
+// (fn runs at the current instant, after already-queued events for
+// this instant that were scheduled earlier).
+func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn, engine: e}
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// Step executes the single earliest pending event. It reports false
+// when the calendar is empty.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	tm := heap.Pop(&e.events).(*Timer)
+	e.now = tm.at
+	e.Executed++
+	tm.fn()
+	return true
+}
+
+// Run drains the calendar until it is empty or Stop is called.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if e.Limit > 0 && e.Executed >= e.Limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.Limit, e.now)
+		}
+		if !e.Step() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances
+// the clock to the deadline. Events scheduled beyond it stay queued.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if e.Limit > 0 && e.Executed >= e.Limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.Limit, e.now)
+		}
+		if e.events.Len() == 0 || e.events[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// Stop makes Run return after the event currently executing.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// eventHeap orders timers by (time, seq); seq breaks ties in FIFO
+// scheduling order, which keeps runs deterministic.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*Microsecond, func() { got = append(got, 3) })
+	e.Schedule(1*Microsecond, func() { got = append(got, 1) })
+	e.Schedule(2*Microsecond, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(3*Microsecond) {
+		t.Fatalf("final time = %v, want 3µs", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Microsecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events ran out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(Microsecond, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(Microsecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != Time(Microsecond) || fired[1] != Time(2*Microsecond) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	tm := e.Schedule(Millisecond, func() { ran = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() {
+		t.Fatal("nil timer Stop should be false")
+	}
+}
+
+func TestStopMidHeap(t *testing.T) {
+	// Cancel an event in the middle of the heap and check the rest
+	// still fire in order.
+	e := NewEngine()
+	var got []int
+	var timers []*Timer
+	for i := 0; i < 20; i++ {
+		i := i
+		timers = append(timers, e.Schedule(Duration(i+1)*Microsecond, func() { got = append(got, i) }))
+	}
+	timers[7].Stop()
+	timers[13].Stop()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, v := range got {
+		if v == 7 || v == 13 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+		if v <= prev {
+			t.Fatalf("out of order: %v", got)
+		}
+		prev = v
+	}
+	if len(got) != 18 {
+		t.Fatalf("got %d events, want 18", len(got))
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*Millisecond, func() { count++ })
+	}
+	if err := e.RunUntil(Time(5 * Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != Time(5*Millisecond) {
+		t.Fatalf("now = %v, want 5ms", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 100
+	var tick func()
+	tick = func() { e.Schedule(Microsecond, tick) }
+	e.Schedule(0, tick)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected event-limit error")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay should fire at t=0 (ran=%v now=%v)", ran, e.Now())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal seeds must produce equal streams")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRand(42).Split(uint64(i)).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds look correlated: %d collisions", same)
+	}
+}
+
+func TestRandUniformBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+		n := r.UniformInt(10, 20)
+		if n < 10 || n > 20 {
+			t.Fatalf("UniformInt out of range: %v", n)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.05 {
+		t.Fatalf("Exp mean = %v, want ≈3.0", mean)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(5)
+	f := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	if t0.Add(50) != Time(150) {
+		t.Fatal("Add")
+	}
+	if Time(150).Sub(t0) != Duration(50) {
+		t.Fatal("Sub")
+	}
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatal("Seconds")
+	}
+	if (2 * Millisecond).Seconds() != 0.002 {
+		t.Fatal("Seconds()")
+	}
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Fatal("Millis()")
+	}
+}

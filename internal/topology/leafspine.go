@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"fmt"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// LevelToRSpine classifies leaf-spine fabric links (a ToR/leaf to one
+// of the spines). Reuses the Level enumeration space after the tree
+// levels.
+const LevelToRSpine Level = LevelAggCore + 1
+
+// LeafSpineConfig describes a two-tier multipath fabric: every leaf
+// (ToR) connects to every spine, and flows are spread across spines by
+// per-flow ECMP hashing — the modern alternative to the paper's
+// single-path tree, included as an extension to show PASE's
+// arbitration generalizes beyond one path per host pair.
+type LeafSpineConfig struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+
+	EdgeRate   netem.BitRate
+	FabricRate netem.BitRate
+	LinkDelay  sim.Duration
+
+	NewQueue func(kind QueueKind) netem.Queue
+}
+
+// DefaultLeafSpine returns a 4-leaf × 2-spine fabric with 10 hosts per
+// leaf, 1 Gbps edges and 10 Gbps fabric links (2:1 oversubscription
+// per leaf: 10 Gbps up-capacity for 10 Gbps of hosts... i.e. 1:2 of
+// the tree's 4:1).
+func DefaultLeafSpine(newQueue func(QueueKind) netem.Queue) LeafSpineConfig {
+	return LeafSpineConfig{
+		Leaves:       4,
+		Spines:       2,
+		HostsPerLeaf: 10,
+		EdgeRate:     netem.Gbps,
+		FabricRate:   10 * netem.Gbps,
+		LinkDelay:    25 * sim.Microsecond,
+		NewQueue:     newQueue,
+	}
+}
+
+// BuildLeafSpine wires a leaf-spine fabric. The returned Network
+// reuses the tree Network type: leaves populate ToRs, spines populate
+// Spines, and the flow-aware path methods dispatch on the fabric kind.
+func BuildLeafSpine(eng *sim.Engine, cfg LeafSpineConfig) *Network {
+	if cfg.NewQueue == nil {
+		panic("topology: LeafSpineConfig.NewQueue is required")
+	}
+	if cfg.Leaves < 1 || cfg.Spines < 1 || cfg.HostsPerLeaf < 1 {
+		panic("topology: leaf-spine needs at least one leaf, spine and host")
+	}
+
+	n := &Network{
+		Eng: eng,
+		Cfg: Config{
+			Racks:        cfg.Leaves,
+			HostsPerRack: cfg.HostsPerLeaf,
+			EdgeRate:     cfg.EdgeRate,
+			FabricRate:   cfg.FabricRate,
+			LinkDelay:    cfg.LinkDelay,
+			NewQueue:     cfg.NewQueue,
+		},
+		upLinks:   make(map[pkt.NodeID][]*Link),
+		downLinks: make(map[pkt.NodeID][]*Link),
+		spineUp:   make(map[int][]*Link),
+		spineDown: make(map[int][]*Link),
+	}
+
+	numHosts := cfg.Leaves * cfg.HostsPerLeaf
+	nextID := pkt.NodeID(0)
+	for i := 0; i < numHosts; i++ {
+		n.Hosts = append(n.Hosts, netem.NewHost(nextID, fmt.Sprintf("h%d", i)))
+		nextID++
+	}
+	for l := 0; l < cfg.Leaves; l++ {
+		n.ToRs = append(n.ToRs, netem.NewSwitch(nextID, fmt.Sprintf("leaf%d", l)))
+		nextID++
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		n.Spines = append(n.Spines, netem.NewSwitch(nextID, fmt.Sprintf("spine%d", s)))
+		nextID++
+	}
+
+	link := func(level Level, up bool, port *netem.Port, from, to netem.Node) *Link {
+		l := &Link{ID: len(n.Links), Level: level, Up: up, Port: port, From: from, To: to}
+		n.Links = append(n.Links, l)
+		return l
+	}
+
+	// Host <-> leaf links.
+	for r, leaf := range n.ToRs {
+		for j := 0; j < cfg.HostsPerLeaf; j++ {
+			h := n.Hosts[r*cfg.HostsPerLeaf+j]
+			hp := netem.NewPort(eng, h, cfg.NewQueue(QueueHostNIC), cfg.EdgeRate, cfg.LinkDelay)
+			hp.Name = h.Name() + "->" + leaf.Name()
+			tp := netem.NewPort(eng, leaf, cfg.NewQueue(QueueSwitchDown), cfg.EdgeRate, cfg.LinkDelay)
+			tp.Name = leaf.Name() + "->" + h.Name()
+			netem.Connect(hp, tp)
+			h.SetPort(hp)
+			idx := leaf.AddPort(tp)
+			leaf.SetRoute(h.ID(), idx)
+
+			up := link(LevelHostToR, true, hp, h, leaf)
+			down := link(LevelHostToR, false, tp, leaf, h)
+			n.upLinks[h.ID()] = append(n.upLinks[h.ID()], up)
+			n.downLinks[h.ID()] = append(n.downLinks[h.ID()], down)
+		}
+	}
+
+	// Leaf <-> spine mesh with per-flow ECMP at the leaves.
+	for r, leaf := range n.ToRs {
+		leaf := leaf
+		var spinePorts []int
+		for s, spine := range n.Spines {
+			tp := netem.NewPort(eng, leaf, cfg.NewQueue(QueueSwitchUp), cfg.FabricRate, cfg.LinkDelay)
+			tp.Name = leaf.Name() + "->" + spine.Name()
+			sp := netem.NewPort(eng, spine, cfg.NewQueue(QueueSwitchDown), cfg.FabricRate, cfg.LinkDelay)
+			sp.Name = spine.Name() + "->" + leaf.Name()
+			netem.Connect(tp, sp)
+			upIdx := leaf.AddPort(tp)
+			downIdx := spine.AddPort(sp)
+			spinePorts = append(spinePorts, upIdx)
+
+			up := link(LevelToRSpine, true, tp, leaf, spine)
+			down := link(LevelToRSpine, false, sp, spine, leaf)
+			n.spineUp[r] = append(n.spineUp[r], up)
+			n.spineDown[r] = append(n.spineDown[r], down)
+
+			// Spines know every host's leaf.
+			for j := 0; j < cfg.HostsPerLeaf; j++ {
+				spine.SetRoute(n.Hosts[r*cfg.HostsPerLeaf+j].ID(), downIdx)
+			}
+			_ = s
+		}
+		// Remote destinations hash onto a spine uplink.
+		ports := spinePorts
+		leaf.FlowRoute = func(p *pkt.Packet) int {
+			return ports[ECMPSpine(p.Flow, len(ports))]
+		}
+	}
+
+	return n
+}
+
+// ECMPSpine is the fabric-wide ECMP hash: flow id -> spine index.
+// Exposed so the control plane arbitrates the same path the data
+// plane uses.
+func ECMPSpine(flow pkt.FlowID, spines int) int {
+	h := uint64(flow) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(spines))
+}
+
+// IsLeafSpine reports whether the fabric was built by BuildLeafSpine.
+func (n *Network) IsLeafSpine() bool { return len(n.Spines) > 0 }
+
+// PathUpFlow is the flow-aware PathUp: identical to PathUp on tree
+// fabrics; on leaf-spine fabrics the up half is the host uplink plus
+// the ECMP-selected leaf→spine link (for inter-leaf flows).
+func (n *Network) PathUpFlow(src, dst pkt.NodeID, flow pkt.FlowID) []*Link {
+	if !n.IsLeafSpine() {
+		return n.PathUp(src, dst)
+	}
+	hostUp := n.upLinks[src][:1]
+	if n.RackOf(src) == n.RackOf(dst) {
+		return hostUp
+	}
+	spine := ECMPSpine(flow, len(n.Spines))
+	out := make([]*Link, 0, 2)
+	out = append(out, hostUp...)
+	out = append(out, n.spineUp[n.RackOf(src)][spine])
+	return out
+}
+
+// PathDownFlow is the flow-aware PathDown (top-down order).
+func (n *Network) PathDownFlow(src, dst pkt.NodeID, flow pkt.FlowID) []*Link {
+	if !n.IsLeafSpine() {
+		return n.PathDown(src, dst)
+	}
+	hostDown := n.downLinks[dst][:1]
+	if n.RackOf(src) == n.RackOf(dst) {
+		return hostDown
+	}
+	spine := ECMPSpine(flow, len(n.Spines))
+	out := make([]*Link, 0, 2)
+	out = append(out, n.spineDown[n.RackOf(dst)][spine])
+	out = append(out, hostDown...)
+	return out
+}
+
+// PathFlow returns the full flow-aware path in traversal order.
+func (n *Network) PathFlow(src, dst pkt.NodeID, flow pkt.FlowID) []*Link {
+	up := n.PathUpFlow(src, dst, flow)
+	down := n.PathDownFlow(src, dst, flow)
+	out := make([]*Link, 0, len(up)+len(down))
+	out = append(out, up...)
+	out = append(out, down...)
+	return out
+}

@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+func buildLS(t *testing.T) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	n := BuildLeafSpine(eng, DefaultLeafSpine(dtq))
+	return eng, n
+}
+
+func TestLeafSpineShape(t *testing.T) {
+	_, n := buildLS(t)
+	if !n.IsLeafSpine() {
+		t.Fatal("fabric should report leaf-spine")
+	}
+	if n.NumHosts() != 40 || len(n.ToRs) != 4 || len(n.Spines) != 2 {
+		t.Fatalf("shape: hosts=%d leaves=%d spines=%d", n.NumHosts(), len(n.ToRs), len(n.Spines))
+	}
+	// 40 host links + 4 leaves × 2 spines, both directions.
+	if got := len(n.Links); got != (40+8)*2 {
+		t.Fatalf("links = %d, want %d", got, (40+8)*2)
+	}
+}
+
+func TestLeafSpineECMPDeterministicAndBalanced(t *testing.T) {
+	counts := [2]int{}
+	for f := pkt.FlowID(1); f <= 2000; f++ {
+		s := ECMPSpine(f, 2)
+		if s != ECMPSpine(f, 2) {
+			t.Fatal("ECMP hash must be deterministic")
+		}
+		counts[s]++
+	}
+	if counts[0] < 800 || counts[1] < 800 {
+		t.Fatalf("ECMP imbalance: %v", counts)
+	}
+}
+
+func TestLeafSpinePathsFollowHash(t *testing.T) {
+	_, n := buildLS(t)
+	// Hosts 0 (leaf 0) and 15 (leaf 1).
+	for f := pkt.FlowID(1); f <= 20; f++ {
+		up := n.PathUpFlow(0, 15, f)
+		down := n.PathDownFlow(0, 15, f)
+		if len(up) != 2 || len(down) != 2 {
+			t.Fatalf("flow %d: halves %d/%d, want 2/2", f, len(up), len(down))
+		}
+		spine := ECMPSpine(f, 2)
+		if up[1].To != n.Spines[spine] || down[0].From != n.Spines[spine] {
+			t.Fatalf("flow %d path does not follow its ECMP spine", f)
+		}
+	}
+	// Intra-leaf: one hop halves.
+	if len(n.PathUpFlow(0, 1, 5)) != 1 || len(n.PathDownFlow(0, 1, 5)) != 1 {
+		t.Fatal("intra-leaf halves should be host links only")
+	}
+}
+
+func TestLeafSpineDeliveryMatchesHash(t *testing.T) {
+	eng, n := buildLS(t)
+	// Count data packets at each spine's ingress by tapping leaf
+	// uplink TX counters after a run.
+	got := make(map[pkt.NodeID]bool)
+	for _, h := range n.Hosts {
+		h := h
+		h.Handler = func(p *pkt.Packet) { got[p.Src] = true }
+	}
+	for f := 0; f < 50; f++ {
+		src := n.Host(f % 10)             // leaf 0
+		dst := n.Host(10 + (f % 10)).ID() // leaf 1
+		src.Send(&pkt.Packet{Flow: pkt.FlowID(f + 1), Src: src.ID(), Dst: dst, Size: pkt.MTU, Type: pkt.Data})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Both spines must have carried traffic.
+	for s, spine := range n.Spines {
+		var tx int64
+		for _, p := range spine.Ports() {
+			tx += p.TxPackets
+		}
+		if tx == 0 {
+			t.Fatalf("spine %d carried no packets: ECMP not spreading", s)
+		}
+	}
+}
+
+func TestLeafSpineBaseRTT(t *testing.T) {
+	_, n := buildLS(t)
+	// Cross-leaf: 4 links × 25µs × 2 = 200µs; intra-leaf 100µs.
+	if rtt := n.BaseRTT(0, 15); rtt != 200*sim.Microsecond {
+		t.Fatalf("cross-leaf RTT = %v", rtt)
+	}
+	if rtt := n.BaseRTT(0, 1); rtt != 100*sim.Microsecond {
+		t.Fatalf("intra-leaf RTT = %v", rtt)
+	}
+}
+
+func TestLeafSpineInvalidConfigPanics(t *testing.T) {
+	bad := []LeafSpineConfig{
+		{Leaves: 0, Spines: 1, HostsPerLeaf: 1, NewQueue: dtq, EdgeRate: netem.Gbps, FabricRate: netem.Gbps},
+		{Leaves: 1, Spines: 1, HostsPerLeaf: 1}, // no queue factory
+	}
+	for i, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d should panic", i)
+				}
+			}()
+			BuildLeafSpine(sim.NewEngine(), cfg)
+		}()
+	}
+}

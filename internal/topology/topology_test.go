@@ -1,0 +1,234 @@
+package topology
+
+import (
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+func dtq(QueueKind) netem.Queue { return netem.NewDropTail(1000) }
+
+func buildBaseline(t *testing.T) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	n := Build(eng, Baseline(dtq))
+	return eng, n
+}
+
+func TestBaselineShape(t *testing.T) {
+	_, n := buildBaseline(t)
+	if got := n.NumHosts(); got != 160 {
+		t.Fatalf("hosts = %d, want 160", got)
+	}
+	if len(n.ToRs) != 4 || len(n.Aggs) != 2 || n.Core == nil {
+		t.Fatalf("switch counts: tors=%d aggs=%d core=%v", len(n.ToRs), len(n.Aggs), n.Core)
+	}
+	// 160 host links + 4 tor-agg + 2 agg-core, two directions each.
+	if got := len(n.Links); got != (160+4+2)*2 {
+		t.Fatalf("links = %d, want %d", got, (160+4+2)*2)
+	}
+	// Oversubscription: 40 hosts × 1Gbps vs one 10Gbps uplink = 4:1.
+	up := n.UpLinks(0)
+	if len(up) != 3 {
+		t.Fatalf("up links = %d, want 3", len(up))
+	}
+	if up[0].Capacity() != netem.Gbps || up[1].Capacity() != 10*netem.Gbps || up[2].Capacity() != 10*netem.Gbps {
+		t.Fatalf("capacities = %v %v %v", up[0].Capacity(), up[1].Capacity(), up[2].Capacity())
+	}
+}
+
+func TestRackAndAggAssignment(t *testing.T) {
+	_, n := buildBaseline(t)
+	if n.RackOf(0) != 0 || n.RackOf(39) != 0 || n.RackOf(40) != 1 || n.RackOf(159) != 3 {
+		t.Fatal("rack assignment wrong")
+	}
+	if n.AggOf(0) != 0 || n.AggOf(79) != 0 || n.AggOf(80) != 1 || n.AggOf(159) != 1 {
+		t.Fatal("agg assignment wrong")
+	}
+}
+
+func TestPathHalves(t *testing.T) {
+	_, n := buildBaseline(t)
+	// Same rack: 1 up + 1 down.
+	up, down := n.PathUp(0, 1), n.PathDown(0, 1)
+	if len(up) != 1 || len(down) != 1 {
+		t.Fatalf("intra-rack halves = %d/%d, want 1/1", len(up), len(down))
+	}
+	if up[0].Level != LevelHostToR || !up[0].Up || down[0].Level != LevelHostToR || down[0].Up {
+		t.Fatal("intra-rack links misclassified")
+	}
+	// Same agg, different rack (host 0 rack 0, host 40 rack 1): 2 up + 2 down.
+	up, down = n.PathUp(0, 40), n.PathDown(0, 40)
+	if len(up) != 2 || len(down) != 2 {
+		t.Fatalf("intra-agg halves = %d/%d, want 2/2", len(up), len(down))
+	}
+	if down[0].Level != LevelToRAgg || down[1].Level != LevelHostToR {
+		t.Fatal("down half must be top-down ordered")
+	}
+	// Across core (host 0, host 159): 3 up + 3 down.
+	up, down = n.PathUp(0, 159), n.PathDown(0, 159)
+	if len(up) != 3 || len(down) != 3 {
+		t.Fatalf("cross-core halves = %d/%d, want 3/3", len(up), len(down))
+	}
+	if up[2].Level != LevelAggCore || down[0].Level != LevelAggCore {
+		t.Fatal("cross-core halves must include agg-core links")
+	}
+}
+
+func TestBaseRTT(t *testing.T) {
+	_, n := buildBaseline(t)
+	// Cross-core: 6 links × 25µs × 2 = 300µs, the paper's base RTT.
+	if rtt := n.BaseRTT(0, 159); rtt != 300*sim.Microsecond {
+		t.Fatalf("cross-core RTT = %v, want 300µs", rtt)
+	}
+	// Intra-rack: 2 links × 25µs × 2 = 100µs.
+	if rtt := n.BaseRTT(0, 1); rtt != 100*sim.Microsecond {
+		t.Fatalf("intra-rack RTT = %v, want 100µs", rtt)
+	}
+}
+
+func TestTestbedRTT(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Build(eng, Testbed(dtq))
+	if n.NumHosts() != 10 {
+		t.Fatalf("testbed hosts = %d, want 10", n.NumHosts())
+	}
+	if rtt := n.BaseRTT(0, 9); rtt != 250*sim.Microsecond {
+		t.Fatalf("testbed RTT = %v, want 250µs", rtt)
+	}
+}
+
+// deliverAndCheck sends one packet between each host pair of interest
+// and verifies delivery through the routed fabric.
+func TestEndToEndDelivery(t *testing.T) {
+	eng, n := buildBaseline(t)
+	type key struct{ src, dst pkt.NodeID }
+	delivered := make(map[key]bool)
+	for _, h := range n.Hosts {
+		h := h
+		h.Handler = func(p *pkt.Packet) {
+			if p.Dst != h.ID() {
+				t.Errorf("host %d got packet for %d", h.ID(), p.Dst)
+			}
+			delivered[key{p.Src, p.Dst}] = true
+		}
+	}
+	pairs := []key{
+		{0, 1},   // intra-rack
+		{0, 40},  // inter-rack same agg
+		{0, 159}, // cross-core
+		{159, 0}, // reverse direction
+		{80, 79}, // agg boundary
+		{39, 40}, // rack boundary
+	}
+	for _, pr := range pairs {
+		p := &pkt.Packet{Src: pr.src, Dst: pr.dst, Size: pkt.MTU, Type: pkt.Data}
+		n.Host(int(pr.src)).Send(p)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range pairs {
+		if !delivered[pr] {
+			t.Errorf("pair %v not delivered", pr)
+		}
+	}
+}
+
+func TestAllPairsReachability(t *testing.T) {
+	// Smaller fabric, exhaustive all-pairs delivery.
+	eng := sim.NewEngine()
+	cfg := Config{
+		Racks: 4, HostsPerRack: 2, RacksPerAgg: 2,
+		EdgeRate: netem.Gbps, FabricRate: 10 * netem.Gbps,
+		LinkDelay: sim.Microsecond, NewQueue: dtq,
+	}
+	n := Build(eng, cfg)
+	recv := make(map[pkt.NodeID]int)
+	for _, h := range n.Hosts {
+		h := h
+		h.Handler = func(p *pkt.Packet) { recv[h.ID()]++ }
+	}
+	for _, src := range n.Hosts {
+		for _, dst := range n.Hosts {
+			if src == dst {
+				continue
+			}
+			src.Send(&pkt.Packet{Src: src.ID(), Dst: dst.ID(), Size: 100, Type: pkt.Data})
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range n.Hosts {
+		if recv[h.ID()] != n.NumHosts()-1 {
+			t.Fatalf("host %d received %d, want %d", h.ID(), recv[h.ID()], n.NumHosts()-1)
+		}
+	}
+}
+
+func TestPathMatchesRouting(t *testing.T) {
+	// The links reported by Path must be exactly the ports a packet
+	// traverses; verify by checking hop count equals path length.
+	eng, n := buildBaseline(t)
+	var hops int8
+	n.Host(159).Handler = func(p *pkt.Packet) { hops = p.Hops }
+	n.Host(0).Send(&pkt.Packet{Src: 0, Dst: 159, Size: 100, Type: pkt.Data})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if int(hops) != len(n.Path(0, 159)) {
+		t.Fatalf("hops = %d, path length = %d", hops, len(n.Path(0, 159)))
+	}
+}
+
+func TestSingleRackHasNoFabricLayer(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Build(eng, SingleRack(20, dtq))
+	if len(n.Aggs) != 0 || n.Core != nil {
+		t.Fatal("single rack should not build agg/core")
+	}
+	if len(n.UpLinks(0)) != 1 || len(n.DownLinks(0)) != 1 {
+		t.Fatal("single-rack hosts have exactly one up and one down link")
+	}
+	if got := len(n.Path(0, 19)); got != 2 {
+		t.Fatalf("path length = %d, want 2", got)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Racks: 0, HostsPerRack: 1, NewQueue: dtq},
+		{Racks: 3, HostsPerRack: 1, RacksPerAgg: 2, NewQueue: dtq, EdgeRate: netem.Gbps, FabricRate: netem.Gbps},
+		{Racks: 1, HostsPerRack: 1}, // no queue factory
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			Build(sim.NewEngine(), cfg)
+		}()
+	}
+}
+
+func TestQueueStatsTotalAggregates(t *testing.T) {
+	eng, n := buildBaseline(t)
+	n.Host(1).Handler = func(*pkt.Packet) {}
+	n.Host(0).Send(&pkt.Packet{Src: 0, Dst: 1, Size: pkt.MTU, Type: pkt.Data})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.QueueStatsTotal()
+	// Host NIC + ToR downlink = 2 enqueues.
+	if st.Enqueued != 2 || st.Dequeued != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n.TxDataTotal() != 2 {
+		t.Fatalf("tx total = %d, want 2", n.TxDataTotal())
+	}
+}

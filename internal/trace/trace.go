@@ -1,0 +1,170 @@
+// Package trace provides observation tooling for simulation runs:
+// a flow-event log and a periodic queue-occupancy sampler, both
+// writable as tab-separated text for offline analysis. The simulator
+// itself never depends on tracing; experiments opt in.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+)
+
+// FlowEvent is one entry of the flow log.
+type FlowEvent struct {
+	At   sim.Time
+	Kind string // "start", "done", "abort"
+	Flow pkt.FlowID
+	Src  pkt.NodeID
+	Dst  pkt.NodeID
+	Size int64
+	// FCT is set on "done".
+	FCT sim.Duration
+}
+
+// FlowLog accumulates flow lifecycle events.
+type FlowLog struct {
+	events []FlowEvent
+}
+
+// Add appends one event.
+func (l *FlowLog) Add(e FlowEvent) { l.events = append(l.events, e) }
+
+// Events returns the log in insertion order.
+func (l *FlowLog) Events() []FlowEvent { return l.events }
+
+// WriteTSV dumps the log with a header row.
+func (l *FlowLog) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# time_us\tkind\tflow\tsrc\tdst\tsize\tfct_us"); err != nil {
+		return err
+	}
+	for _, e := range l.events {
+		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			int64(e.At)/1000, e.Kind, e.Flow, e.Src, e.Dst, e.Size, int64(e.FCT)/1000); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueueSample is one observation of one port's queue.
+type QueueSample struct {
+	At    sim.Time
+	Port  string
+	Len   int
+	Bytes int64
+}
+
+// Sampler periodically records the occupancy of a set of ports.
+type Sampler struct {
+	eng     *sim.Engine
+	every   sim.Duration
+	ports   []*netem.Port
+	samples []QueueSample
+	stopped bool
+}
+
+// NewSampler samples the given ports every interval until Stop (or
+// forever — the engine stops delivering once the run ends).
+func NewSampler(eng *sim.Engine, every sim.Duration, ports []*netem.Port) *Sampler {
+	if every <= 0 {
+		panic("trace: non-positive sampling interval")
+	}
+	s := &Sampler{eng: eng, every: every, ports: ports}
+	s.schedule()
+	return s
+}
+
+// AllPorts enumerates every port of a fabric (hosts and switches),
+// named, for sampling.
+func AllPorts(n *topology.Network) []*netem.Port {
+	var out []*netem.Port
+	for _, h := range n.Hosts {
+		out = append(out, h.Port())
+	}
+	for _, sw := range n.ToRs {
+		out = append(out, sw.Ports()...)
+	}
+	for _, sw := range n.Aggs {
+		out = append(out, sw.Ports()...)
+	}
+	if n.Core != nil {
+		out = append(out, n.Core.Ports()...)
+	}
+	return out
+}
+
+func (s *Sampler) schedule() {
+	s.eng.Schedule(s.every, func() {
+		if s.stopped {
+			return
+		}
+		now := s.eng.Now()
+		for _, p := range s.ports {
+			q := p.Queue()
+			if q.Len() == 0 {
+				continue // keep the log sparse: idle queues are implied
+			}
+			s.samples = append(s.samples, QueueSample{
+				At: now, Port: p.Name, Len: q.Len(), Bytes: q.Bytes(),
+			})
+		}
+		s.schedule()
+	})
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Samples returns everything recorded so far.
+func (s *Sampler) Samples() []QueueSample { return s.samples }
+
+// MaxLenByPort aggregates the peak sampled occupancy per port.
+func (s *Sampler) MaxLenByPort() map[string]int {
+	out := make(map[string]int)
+	for _, sm := range s.samples {
+		if sm.Len > out[sm.Port] {
+			out[sm.Port] = sm.Len
+		}
+	}
+	return out
+}
+
+// WriteTSV dumps the samples with a header row.
+func (s *Sampler) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# time_us\tport\tqlen\tqbytes"); err != nil {
+		return err
+	}
+	for _, sm := range s.samples {
+		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%d\n",
+			int64(sm.At)/1000, sm.Port, sm.Len, sm.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Busiest returns the n ports with the highest peak occupancy, sorted
+// descending — a quick congestion locator.
+func (s *Sampler) Busiest(n int) []string {
+	peaks := s.MaxLenByPort()
+	names := make([]string, 0, len(peaks))
+	for name := range peaks {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if peaks[names[i]] != peaks[names[j]] {
+			return peaks[names[i]] > peaks[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if n > len(names) {
+		n = len(names)
+	}
+	return names[:n]
+}

@@ -1,0 +1,110 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+	"pase/internal/trace"
+	"pase/internal/transport"
+	"pase/internal/transport/dctcp"
+	"pase/internal/workload"
+)
+
+func TestFlowLogTSV(t *testing.T) {
+	var l trace.FlowLog
+	l.Add(trace.FlowEvent{At: sim.Time(1500), Kind: "start", Flow: 7, Src: 0, Dst: 1, Size: 1000})
+	l.Add(trace.FlowEvent{At: sim.Time(2_000_000), Kind: "done", Flow: 7, Src: 0, Dst: 1, Size: 1000, FCT: 1_998_500})
+	var sb strings.Builder
+	if err := l.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "start\t7") || !strings.Contains(out, "done\t7") {
+		t.Fatalf("unexpected TSV:\n%s", out)
+	}
+	if len(l.Events()) != 2 {
+		t.Fatal("events lost")
+	}
+}
+
+func TestSamplerObservesCongestion(t *testing.T) {
+	eng := sim.NewEngine()
+	net := topology.Build(eng, topology.SingleRack(4, func(topology.QueueKind) netem.Queue {
+		return netem.NewREDECN(225, 65)
+	}))
+	sampler := trace.NewSampler(eng, 50*sim.Microsecond, trace.AllPorts(net))
+
+	d := transport.NewDriver(net, dctcp.New(dctcp.DefaultConfig()))
+	// Three senders into one receiver: host 3's downlink must queue.
+	var flows []workload.FlowSpec
+	for i := 0; i < 3; i++ {
+		flows = append(flows, workload.FlowSpec{
+			ID: pkt.FlowID(i + 1), Src: pkt.NodeID(i), Dst: 3, Size: 400_000, Start: 0,
+		})
+	}
+	d.Schedule(flows)
+	if _, err := d.Run(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	sampler.Stop()
+
+	if len(sampler.Samples()) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	peaks := sampler.MaxLenByPort()
+	bottleneck := "tor0->h3"
+	if peaks[bottleneck] < 10 {
+		t.Fatalf("expected queue at %s, peaks: %v", bottleneck, peaks)
+	}
+	busiest := sampler.Busiest(1)
+	if len(busiest) != 1 || busiest[0] != bottleneck {
+		t.Fatalf("busiest = %v, want [%s]", busiest, bottleneck)
+	}
+
+	var sb strings.Builder
+	if err := sampler.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), bottleneck) {
+		t.Fatal("TSV missing bottleneck port")
+	}
+}
+
+func TestSamplerSparseness(t *testing.T) {
+	// An idle fabric produces no samples at all.
+	eng := sim.NewEngine()
+	net := topology.Build(eng, topology.SingleRack(2, func(topology.QueueKind) netem.Queue {
+		return netem.NewDropTail(100)
+	}))
+	s := trace.NewSampler(eng, 100*sim.Microsecond, trace.AllPorts(net))
+	if err := eng.RunUntil(sim.Time(10 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Samples()) != 0 {
+		t.Fatalf("idle fabric recorded %d samples", len(s.Samples()))
+	}
+}
+
+func TestSamplerInvalidInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	trace.NewSampler(sim.NewEngine(), 0, nil)
+}
+
+func TestBusiestTruncates(t *testing.T) {
+	eng := sim.NewEngine()
+	net := topology.Build(eng, topology.Baseline(func(topology.QueueKind) netem.Queue {
+		return netem.NewDropTail(100)
+	}))
+	s := trace.NewSampler(eng, sim.Millisecond, trace.AllPorts(net))
+	if got := s.Busiest(5); len(got) != 0 {
+		t.Fatalf("no samples yet, busiest = %v", got)
+	}
+}

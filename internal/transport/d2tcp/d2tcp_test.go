@@ -1,0 +1,113 @@
+package d2tcp_test
+
+import (
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+	"pase/internal/transport"
+	"pase/internal/transport/d2tcp"
+	"pase/internal/transport/dctcp"
+	"pase/internal/workload"
+)
+
+func rack(n int) *topology.Network {
+	return topology.Build(sim.NewEngine(), topology.SingleRack(n, func(topology.QueueKind) netem.Queue {
+		return netem.NewREDECN(225, 65)
+	}))
+}
+
+func TestBehavesLikeDCTCPWithoutDeadlines(t *testing.T) {
+	run := func(factory func(*transport.Sender) transport.Control) sim.Duration {
+		net := rack(4)
+		d := transport.NewDriver(net, factory)
+		d.Schedule([]workload.FlowSpec{
+			{ID: 1, Src: 0, Dst: 2, Size: 1_000_000, Start: 0},
+			{ID: 2, Src: 1, Dst: 2, Size: 1_000_000, Start: 0},
+		})
+		s, err := d.Run(sim.Time(5 * sim.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Completed != 2 {
+			t.Fatalf("completed = %d", s.Completed)
+		}
+		return s.AFCT
+	}
+	a := run(d2tcp.New(d2tcp.DefaultConfig()))
+	b := run(dctcp.New(dctcp.DefaultConfig()))
+	// Without deadlines D2TCP's penalty is alpha^1 = alpha: identical
+	// law, near-identical outcome.
+	diff := float64(a-b) / float64(b)
+	if diff < -0.05 || diff > 0.05 {
+		t.Fatalf("no-deadline D2TCP diverges from DCTCP: %v vs %v", a, b)
+	}
+}
+
+func TestTightDeadlineFlowWins(t *testing.T) {
+	// Two equal flows into one receiver; one has a tight deadline, the
+	// other a loose one. D2TCP must let the urgent flow finish first.
+	net := rack(4)
+	d := transport.NewDriver(net, d2tcp.New(d2tcp.DefaultConfig()))
+	const size = 1_000_000
+	tight := workload.FlowSpec{ID: 1, Src: 0, Dst: 2, Size: size, Start: 0,
+		Deadline: sim.Time(14 * sim.Millisecond)}
+	loose := workload.FlowSpec{ID: 2, Src: 1, Dst: 2, Size: size, Start: 0,
+		Deadline: sim.Time(100 * sim.Millisecond)}
+	d.Schedule([]workload.FlowSpec{tight, loose})
+	s, err := d.Run(sim.Time(5 * sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed != 2 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+	var tightFCT, looseFCT sim.Duration
+	for _, r := range d.Collector.Completed() {
+		if r.ID == 1 {
+			tightFCT = r.FCT()
+		} else {
+			looseFCT = r.FCT()
+		}
+	}
+	if tightFCT >= looseFCT {
+		t.Fatalf("tight-deadline flow (%v) should finish before loose one (%v)", tightFCT, looseFCT)
+	}
+	// The loose deadline (100 ms for an 8 ms transfer) must be met;
+	// deadline-aware backoff should not wreck either flow.
+	if s.AppThroughput < 0.5 {
+		t.Fatalf("app throughput %v, want >= 0.5", s.AppThroughput)
+	}
+}
+
+func TestDeadlineSweepMeetsMoreThanDCTCP(t *testing.T) {
+	// The paper's motivating claim (Figure 1 region at moderate load):
+	// deadline-awareness meets more deadlines than fair sharing.
+	run := func(factory func(*transport.Sender) transport.Control) float64 {
+		net := rack(10)
+		d := transport.NewDriver(net, factory)
+		spec := workload.Spec{
+			Pattern:     workload.AllToAll{Hosts: workload.HostRange(0, 10)},
+			Sizes:       workload.UniformSize{Min: 100_000, Max: 500_000},
+			Load:        0.5,
+			Reference:   10 * netem.Gbps,
+			NumFlows:    300,
+			DeadlineMin: 5 * sim.Millisecond,
+			DeadlineMax: 25 * sim.Millisecond,
+		}
+		d.Schedule(spec.Generate(sim.NewRand(3), 1))
+		s, err := d.Run(sim.Time(30 * sim.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.AppThroughput
+	}
+	d2 := run(d2tcp.New(d2tcp.DefaultConfig()))
+	dc := run(dctcp.New(dctcp.DefaultConfig()))
+	if d2 < dc-0.02 {
+		t.Fatalf("D2TCP app throughput %v should be >= DCTCP %v", d2, dc)
+	}
+	_ = pkt.MTU
+}

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"fmt"
+
+	"pase/internal/metrics"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+	"pase/internal/workload"
+)
+
+// Driver runs a workload over a built fabric: it installs one Stack
+// per host, schedules flow arrivals, and stops the simulation when
+// every foreground flow has completed (or a deadline passes).
+type Driver struct {
+	Eng       *sim.Engine
+	Net       *topology.Network
+	Stacks    []*Stack
+	Collector *metrics.Collector
+
+	// OnFlowDone, when set, is called after any flow completes
+	// (protocol integrations use it to release arbitration state).
+	OnFlowDone func(s *Sender)
+
+	remaining int
+	started   []*Sender
+}
+
+// NewDriver builds stacks on every host of the fabric.
+func NewDriver(net *topology.Network, newControl func(*Sender) Control) *Driver {
+	d := &Driver{
+		Eng:       net.Eng,
+		Net:       net,
+		Collector: metrics.NewCollector(),
+	}
+	for _, h := range net.Hosts {
+		h := h
+		st := NewStack(net.Eng, h)
+		st.NewControl = newControl
+		st.Collector = d.Collector
+		st.BaseRTT = func(dst pkt.NodeID) sim.Duration { return net.BaseRTT(h.ID(), dst) }
+		st.OnFlowDone = d.flowDone
+		d.Stacks = append(d.Stacks, st)
+	}
+	return d
+}
+
+// Stack returns the stack of host id.
+func (d *Driver) Stack(id pkt.NodeID) *Stack { return d.Stacks[id] }
+
+func (d *Driver) flowDone(s *Sender) {
+	if !s.Spec.Background {
+		d.remaining--
+		if d.remaining == 0 {
+			d.Eng.Stop()
+		}
+	}
+	if d.OnFlowDone != nil {
+		d.OnFlowDone(s)
+	}
+}
+
+// Schedule queues the flow arrivals onto the engine.
+func (d *Driver) Schedule(flows []workload.FlowSpec) {
+	for _, f := range flows {
+		f := f
+		if !f.Background {
+			d.remaining++
+		}
+		d.Eng.At(f.Start, func() {
+			s := d.Stack(f.Src).StartFlow(f)
+			d.started = append(d.started, s)
+		})
+	}
+}
+
+// Run executes until every scheduled foreground flow completes or
+// maxTime elapses, then records any unfinished foreground flows as
+// incomplete. It returns the summarized metrics.
+func (d *Driver) Run(maxTime sim.Time) (metrics.Summary, error) {
+	if d.remaining == 0 {
+		return metrics.Summary{}, fmt.Errorf("transport: no foreground flows scheduled")
+	}
+	if err := d.Eng.RunUntil(maxTime); err != nil {
+		return metrics.Summary{}, err
+	}
+	for _, s := range d.started {
+		if !s.Done && !s.Spec.Background {
+			d.Collector.Add(metrics.FlowRecord{
+				ID:       uint64(s.Spec.ID),
+				Task:     s.Spec.Task,
+				Size:     s.Spec.Size,
+				Start:    s.Spec.Start,
+				Deadline: s.Spec.Deadline,
+				Done:     false,
+				Retx:     s.Retx,
+				Timeouts: s.Timeouts,
+			})
+		}
+	}
+	return d.Collector.Summarize(), nil
+}
+
+// Remaining returns how many foreground flows have not yet finished.
+func (d *Driver) Remaining() int { return d.remaining }

@@ -1,0 +1,196 @@
+package pdq_test
+
+import (
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/topology"
+	"pase/internal/transport"
+	"pase/internal/transport/pdq"
+	"pase/internal/workload"
+)
+
+func rack(n int) (*topology.Network, *transport.Driver, *pdq.System) {
+	net := topology.Build(sim.NewEngine(), topology.SingleRack(n, func(topology.QueueKind) netem.Queue {
+		return netem.NewDropTail(225)
+	}))
+	d := transport.NewDriver(net, nil)
+	sys := pdq.Attach(d, pdq.DefaultConfig())
+	return net, d, sys
+}
+
+func TestAllocatorSJFOrdering(t *testing.T) {
+	cfg := pdq.DefaultConfig()
+	cfg.EarlyStartRTTs = 0 // isolate the greedy allocation
+	a := pdq.NewAllocator(netem.Gbps, &cfg)
+	rtt := 100 * sim.Microsecond
+	a.Update(1, 1_000_000, 0, netem.Gbps, rtt)
+	a.Update(2, 10_000, 0, netem.Gbps, rtt)
+	// Flow 2 is shorter: it should now hold the full link and flow 1
+	// be paused.
+	if got := a.Update(2, 10_000, 0, netem.Gbps, rtt); got != netem.Gbps {
+		t.Fatalf("short flow granted %v, want full rate", got)
+	}
+	if got := a.Update(1, 1_000_000, 0, netem.Gbps, rtt); got != 0 {
+		t.Fatalf("long flow granted %v, want paused", got)
+	}
+}
+
+func TestAllocatorEDFBeatsSJF(t *testing.T) {
+	cfg := pdq.DefaultConfig()
+	cfg.EarlyStartRTTs = 0
+	a := pdq.NewAllocator(netem.Gbps, &cfg)
+	rtt := 100 * sim.Microsecond
+	// Larger flow but with a deadline must precede a shorter flow
+	// without one.
+	a.Update(1, 1_000_000, sim.Time(5*sim.Millisecond), netem.Gbps, rtt)
+	a.Update(2, 10_000, 0, netem.Gbps, rtt)
+	if got := a.Update(1, 1_000_000, sim.Time(5*sim.Millisecond), netem.Gbps, rtt); got != netem.Gbps {
+		t.Fatalf("deadline flow granted %v, want full rate", got)
+	}
+}
+
+func TestAllocatorEarlyStart(t *testing.T) {
+	cfg := pdq.DefaultConfig() // EarlyStartRTTs = 2
+	a := pdq.NewAllocator(netem.Gbps, &cfg)
+	rtt := 100 * sim.Microsecond
+	// Top flow has only ~1 packet left: drains in ~12µs < 2 RTTs, so
+	// the next flow should be granted too (Early Start).
+	a.Update(1, 1500, 0, netem.Gbps, rtt)
+	if got := a.Update(2, 1_000_000, 0, netem.Gbps, rtt); got != netem.Gbps {
+		t.Fatalf("early-start flow granted %v, want full rate", got)
+	}
+}
+
+func TestAllocatorRemove(t *testing.T) {
+	cfg := pdq.DefaultConfig()
+	a := pdq.NewAllocator(netem.Gbps, &cfg)
+	rtt := 100 * sim.Microsecond
+	a.Update(1, 1_000_000, 0, netem.Gbps, rtt)
+	a.Update(2, 2_000_000, 0, netem.Gbps, rtt)
+	if a.Flows() != 2 {
+		t.Fatalf("flows = %d", a.Flows())
+	}
+	a.Remove(1)
+	if a.Flows() != 1 {
+		t.Fatalf("flows after remove = %d", a.Flows())
+	}
+	if got := a.Update(2, 2_000_000, 0, netem.Gbps, rtt); got != netem.Gbps {
+		t.Fatalf("surviving flow granted %v, want full rate", got)
+	}
+}
+
+func TestSingleFlowStartsAfterOneRTT(t *testing.T) {
+	_, d, _ := rack(2)
+	d.Schedule([]workload.FlowSpec{{ID: 1, Src: 0, Dst: 1, Size: 150_000, Start: 0}})
+	s, err := d.Run(sim.Time(sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed != 1 {
+		t.Fatal("flow did not complete")
+	}
+	// ~1 RTT arbitration + ~1.2ms transfer; fast convergence, no ramp.
+	if s.AFCT > 2500*sim.Microsecond {
+		t.Fatalf("PDQ lone flow FCT = %v", s.AFCT)
+	}
+}
+
+func TestPreemptionShortFirst(t *testing.T) {
+	// Long flow running; short flow arrives at the same bottleneck.
+	// PDQ pauses the long one; the short one finishes quickly, then
+	// the long one resumes (with ~RTT switching overhead).
+	_, d, _ := rack(4)
+	d.Schedule([]workload.FlowSpec{
+		{ID: 1, Src: 0, Dst: 2, Size: 2_000_000, Start: 0},
+		{ID: 2, Src: 1, Dst: 2, Size: 50_000, Start: sim.Time(3 * sim.Millisecond)},
+	})
+	s, err := d.Run(sim.Time(2 * sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed != 2 {
+		t.Fatalf("completed = %d, want 2", s.Completed)
+	}
+	var shortFCT, longFCT sim.Duration
+	for _, r := range d.Collector.Completed() {
+		if r.ID == 2 {
+			shortFCT = r.FCT()
+		} else {
+			longFCT = r.FCT()
+		}
+	}
+	// Short: ~0.4ms tx + ~2 RTT signalling; must be well under 2ms.
+	if shortFCT > 2*sim.Millisecond {
+		t.Fatalf("short FCT = %v under PDQ preemption", shortFCT)
+	}
+	// Long: 16ms line-rate + preemption pause (~short's runtime) +
+	// switching overhead; anything above 25ms means resume failed.
+	if longFCT > 25*sim.Millisecond {
+		t.Fatalf("long FCT = %v, resume after preemption broken", longFCT)
+	}
+}
+
+func TestEarlyTerminationKillsDoomedFlow(t *testing.T) {
+	net, d, _ := rackWithCfg(4, func(c *pdq.Config) { c.EarlyTermination = true })
+	_ = net
+	// 2 MB needs 16ms at line rate; 5ms deadline is impossible.
+	d.Schedule([]workload.FlowSpec{
+		{ID: 1, Src: 0, Dst: 1, Size: 2_000_000, Start: 0, Deadline: sim.Time(5 * sim.Millisecond)},
+		{ID: 2, Src: 2, Dst: 3, Size: 50_000, Start: 0, Deadline: sim.Time(20 * sim.Millisecond)},
+	})
+	s, err := d.Run(sim.Time(sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed != 1 {
+		t.Fatalf("completed = %d: doomed flow should be killed, feasible one finish", s.Completed)
+	}
+	if s.AppThroughput != 0.5 {
+		t.Fatalf("app throughput = %v, want 0.5", s.AppThroughput)
+	}
+}
+
+func rackWithCfg(n int, mod func(*pdq.Config)) (*topology.Network, *transport.Driver, *pdq.System) {
+	net := topology.Build(sim.NewEngine(), topology.SingleRack(n, func(topology.QueueKind) netem.Queue {
+		return netem.NewDropTail(225)
+	}))
+	d := transport.NewDriver(net, nil)
+	cfg := pdq.DefaultConfig()
+	mod(&cfg)
+	sys := pdq.Attach(d, cfg)
+	return net, d, sys
+}
+
+func TestSyncMessageAccounting(t *testing.T) {
+	_, d, sys := rack(4)
+	d.Schedule([]workload.FlowSpec{{ID: 1, Src: 0, Dst: 1, Size: 150_000, Start: 0}})
+	if _, err := d.Run(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.SyncMessages == 0 {
+		t.Fatal("PDQ should count header exchanges")
+	}
+	_ = pkt.MTU
+}
+
+func TestManyFlowsComplete(t *testing.T) {
+	_, d, _ := rack(10)
+	spec := workload.Spec{
+		Pattern:   workload.AllToAll{Hosts: workload.HostRange(0, 10)},
+		Sizes:     workload.UniformSize{Min: 2_000, Max: 198_000},
+		Load:      0.6,
+		Reference: 10 * netem.Gbps,
+		NumFlows:  300,
+	}
+	d.Schedule(spec.Generate(sim.NewRand(13), 1))
+	s, err := d.Run(sim.Time(60 * sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed != 300 {
+		t.Fatalf("completed = %d, want 300", s.Completed)
+	}
+}

@@ -1,0 +1,120 @@
+// Package pfabric implements pFabric (Alizadeh et al., SIGCOMM 2013):
+// near-optimal datacenter transport built from priority-aware switches
+// plus deliberately minimal end-host rate control.
+//
+// Every data packet carries the flow's remaining size as its Rank;
+// pFabric switches (netem.PFabric) schedule the most urgent packet
+// first and drop the least urgent on overflow. The end host starts at
+// line rate, never reacts to duplicate ACKs or ECN, recovers purely by
+// a small fixed RTO, and drops to a one-packet probe window after
+// repeated consecutive timeouts.
+//
+// This minimalism is exactly what the PASE paper probes in Figures 4
+// and 10: under all-to-all patterns and high load, line-rate blasting
+// wastes upstream capacity on packets that die at downstream hops.
+package pfabric
+
+import (
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/transport"
+)
+
+// Config holds pFabric parameters (Table 3 of the PASE paper).
+type Config struct {
+	// InitCwnd is the initial (and cap) window in segments; 0 derives
+	// 1.5× the bandwidth-delay product at flow start, mirroring the
+	// paper's "start at line rate".
+	InitCwnd float64
+	// RTO is the fixed retransmission timeout (~3×RTT; Table 3: 1 ms).
+	RTO sim.Duration
+	// ProbeAfter is the number of consecutive timeouts after which the
+	// flow enters probe mode (window 1).
+	ProbeAfter int
+}
+
+// DefaultConfig returns Table 3's parameterization.
+func DefaultConfig() Config {
+	return Config{
+		InitCwnd:   38,
+		RTO:        sim.Millisecond,
+		ProbeAfter: 5,
+	}
+}
+
+// New returns a Control factory.
+func New(cfg Config) func(*transport.Sender) transport.Control {
+	return func(*transport.Sender) transport.Control {
+		return &control{cfg: cfg}
+	}
+}
+
+type control struct {
+	cfg         Config
+	cap         float64
+	consecutive int // consecutive timeouts since the last ACK
+}
+
+func (c *control) Name() string { return "pFabric" }
+
+// Init implements transport.Control.
+func (c *control) Init(s *transport.Sender) {
+	c.cap = c.cfg.InitCwnd
+	if c.cap <= 0 {
+		bdp := float64(s.Stack().NICRate().BytesPer(s.BaseRTT())) / float64(pkt.MTU)
+		c.cap = 1.5 * bdp
+		if c.cap < 2 {
+			c.cap = 2
+		}
+	}
+	s.Cwnd = c.cap
+	s.SSThresh = c.cap
+	s.NoFastRetx = true
+	s.FixedRTO = c.cfg.RTO
+}
+
+// OnAck implements transport.Control: slow-start back toward the
+// line-rate cap after losses; no reaction to marks or dupACKs. The
+// aggressive regrowth is deliberate — pFabric relies on the fabric,
+// not the endpoints, for contention resolution.
+func (c *control) OnAck(s *transport.Sender, _ *pkt.Packet, newly int32, _ sim.Duration) {
+	if newly > 0 {
+		c.consecutive = 0
+		if s.Cwnd < c.cap {
+			s.Cwnd += float64(newly) // exponential per RTT
+			if s.Cwnd > c.cap {
+				s.Cwnd = c.cap
+			}
+		}
+	}
+}
+
+// OnLoss implements transport.Control (unreachable: fast retransmit is
+// disabled).
+func (c *control) OnLoss(*transport.Sender) {}
+
+// OnTimeout implements transport.Control: re-enter slow start; after
+// ProbeAfter consecutive timeouts, fall to a one-packet probe window.
+func (c *control) OnTimeout(s *transport.Sender) bool {
+	c.consecutive++
+	if c.consecutive >= c.cfg.ProbeAfter {
+		s.Cwnd = 1 // probe mode
+		return false
+	}
+	s.Cwnd = c.cap / 2
+	if s.Cwnd < 1 {
+		s.Cwnd = 1
+	}
+	return false
+}
+
+// FillData implements transport.Control: the remaining flow size is
+// the packet's scheduling rank (lower = more urgent), giving
+// shortest-remaining-first service fabric-wide.
+func (c *control) FillData(s *transport.Sender, p *pkt.Packet) {
+	p.ECT = false
+	p.Rank = s.Remaining()
+}
+
+// MinRTO implements transport.Control (unused: FixedRTO is set).
+func (c *control) MinRTO(*transport.Sender) sim.Duration { return c.cfg.RTO }

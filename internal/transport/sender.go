@@ -1,0 +1,511 @@
+package transport
+
+import (
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/workload"
+)
+
+// segState tracks the lifecycle of one segment at the sender.
+type segState uint8
+
+const (
+	segUnsent   segState = iota
+	segInflight          // transmitted, not yet acknowledged or declared lost
+	segLost              // declared lost, waiting for retransmission
+	segAcked
+)
+
+// Default RTO bounds; protocols override the floor via Control.MinRTO.
+const (
+	maxRTOBackoff = 6
+	// AbsMaxRTO caps exponential backoff.
+	AbsMaxRTO = 2 * sim.Second
+)
+
+// Sender is the per-flow transmit side: window or pacing, loss
+// recovery, and RTT estimation. Protocol logic manipulates the
+// exported fields and helpers from its Control callbacks.
+type Sender struct {
+	st   *Stack
+	Spec workload.FlowSpec
+	ctrl Control
+
+	// Segs is the number of MSS segments in the flow.
+	Segs int32
+
+	// Cwnd is the congestion window in segments (window mode).
+	// Effective window is max(1, floor(Cwnd)).
+	Cwnd float64
+	// SSThresh is the slow-start threshold in segments.
+	SSThresh float64
+
+	// Paced switches the flow from window mode to rate pacing
+	// (PDQ-style). Rate 0 pauses the flow.
+	Paced bool
+	Rate  netem.BitRate
+
+	// Prio is the priority class stamped on outgoing data (used by
+	// PASE and any PRIO-queue protocol).
+	Prio int8
+
+	// CC is protocol-private per-flow state.
+	CC any
+
+	// Hold suspends all transmission (data and retransmissions) while
+	// true. PASE uses it to gate sending on arbitration readiness, to
+	// drain in-flight packets before a priority promotion (reorder
+	// guard), and while a bottom-queue flow is in probe mode.
+	Hold bool
+
+	// NoFastRetx disables dupACK-triggered fast retransmit; pFabric's
+	// minimal rate control recovers by (small, fixed) timeouts only.
+	NoFastRetx bool
+	// FixedRTO, when positive, replaces RTT-based RTO estimation and
+	// exponential backoff with a constant timeout (pFabric).
+	FixedRTO sim.Duration
+
+	state      []segState
+	nextSeq    int32
+	cumAck     int32
+	ackedCount int32
+	ackedBytes int64
+	inflight   int32
+	retxQ      []int32
+
+	dupAcks    int
+	recoverSeq int32
+
+	retransmitted []bool
+
+	srtt, rttvar sim.Duration
+	backoff      int
+	rtoTimer     *sim.Timer
+	paceTimer    *sim.Timer
+
+	// Retx counts retransmitted segments; Timeouts counts RTO firings.
+	Retx     int
+	Timeouts int
+
+	Done bool
+	// Aborted marks a flow terminated without completing.
+	Aborted    bool
+	FinishTime sim.Time
+}
+
+func newSender(st *Stack, spec workload.FlowSpec) *Sender {
+	segs := pkt.DataPackets(spec.Size)
+	s := &Sender{
+		st:            st,
+		Spec:          spec,
+		Segs:          segs,
+		state:         make([]segState, segs),
+		retransmitted: make([]bool, segs),
+		Cwnd:          1,
+		SSThresh:      1 << 20,
+	}
+	return s
+}
+
+// Stack returns the owning stack.
+func (s *Sender) Stack() *Stack { return s.st }
+
+// Now returns the current simulation time.
+func (s *Sender) Now() sim.Time { return s.st.Eng.Now() }
+
+// BaseRTT returns the propagation RTT to the flow's destination.
+func (s *Sender) BaseRTT() sim.Duration { return s.st.BaseRTT(s.Spec.Dst) }
+
+// RTT returns the smoothed RTT estimate, falling back to BaseRTT
+// before the first sample.
+func (s *Sender) RTT() sim.Duration {
+	if s.srtt > 0 {
+		return s.srtt
+	}
+	return s.BaseRTT()
+}
+
+// SRTT returns the raw smoothed RTT (0 if unsampled).
+func (s *Sender) SRTT() sim.Duration { return s.srtt }
+
+// AckedBytes returns how many payload bytes have been acknowledged.
+func (s *Sender) AckedBytes() int64 { return s.ackedBytes }
+
+// Remaining returns the unacknowledged payload bytes — the remaining
+// flow size used as scheduling criterion by pFabric, PDQ and PASE.
+func (s *Sender) Remaining() int64 { return s.Spec.Size - s.ackedBytes }
+
+// Inflight returns the number of in-flight segments.
+func (s *Sender) Inflight() int32 { return s.inflight }
+
+// CumAck returns the lowest unacknowledged sequence number.
+func (s *Sender) CumAck() int32 { return s.cumAck }
+
+// NextWindowEdge returns the highest sequence number reached by the
+// sender so far; once-per-window logic (DCTCP's alpha refresh and
+// window cut) uses it as the edge marker.
+func (s *Sender) NextWindowEdge() int32 { return s.nextSeq }
+
+// FirstMissing returns the lowest unacked segment (== CumAck), the
+// retransmission candidate.
+func (s *Sender) FirstMissing() int32 { return s.cumAck }
+
+// WindowSegs returns the effective window in whole segments.
+func (s *Sender) WindowSegs() int32 {
+	w := int32(s.Cwnd)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// nextToSend picks the next segment: retransmissions first, then new
+// data. It reports false when nothing is eligible.
+func (s *Sender) nextToSend() (int32, bool) {
+	for len(s.retxQ) > 0 {
+		seq := s.retxQ[0]
+		s.retxQ = s.retxQ[1:]
+		if s.state[seq] == segLost {
+			return seq, true
+		}
+	}
+	if s.nextSeq < s.Segs {
+		seq := s.nextSeq
+		s.nextSeq++
+		return seq, true
+	}
+	return -1, false
+}
+
+// transmit sends one segment.
+func (s *Sender) transmit(seq int32) {
+	resend := s.state[seq] == segLost
+	s.state[seq] = segInflight
+	s.inflight++
+	p := &pkt.Packet{
+		ID:     s.st.nextPktID(),
+		Flow:   s.Spec.ID,
+		Src:    s.Spec.Src,
+		Dst:    s.Spec.Dst,
+		Type:   pkt.Data,
+		Seq:    seq,
+		Size:   pkt.SegmentWireSize(s.Spec.Size, seq),
+		SentAt: s.Now(),
+	}
+	s.ctrl.FillData(s, p)
+	if resend {
+		s.Retx++
+		s.retransmitted[seq] = true
+	}
+	s.st.Host.Send(p)
+}
+
+// trySend transmits as much as the window (or pacing rate) allows and
+// keeps the retransmission timer armed.
+func (s *Sender) trySend() {
+	if s.Done || s.Hold {
+		return
+	}
+	if s.Paced {
+		s.pump()
+		return
+	}
+	for s.inflight < s.WindowSegs() {
+		seq, ok := s.nextToSend()
+		if !ok {
+			break
+		}
+		s.transmit(seq)
+	}
+	s.armRTO()
+}
+
+// pump is the pacing loop: one packet per Rate-determined interval.
+func (s *Sender) pump() {
+	if s.Done || s.Hold || s.Rate <= 0 || s.paceTimer.Pending() {
+		return
+	}
+	seq, ok := s.nextToSend()
+	if !ok {
+		return
+	}
+	s.transmit(seq)
+	gap := s.Rate.Serialize(pkt.SegmentWireSize(s.Spec.Size, seq))
+	s.paceTimer = s.st.Eng.Schedule(gap, func() { s.pump() })
+	s.armRTO()
+}
+
+// SetRate changes the pacing rate; a positive rate resumes a paused
+// paced flow immediately.
+func (s *Sender) SetRate(r netem.BitRate) {
+	s.Rate = r
+	if r > 0 {
+		s.pump()
+	}
+}
+
+// MarkLost declares an in-flight segment lost and queues it for
+// retransmission.
+func (s *Sender) MarkLost(seq int32) {
+	if seq < 0 || seq >= s.Segs || s.state[seq] != segInflight {
+		return
+	}
+	s.state[seq] = segLost
+	s.inflight--
+	s.retxQ = append(s.retxQ, seq)
+}
+
+// MarkAllInflightLost performs go-back-N recovery bookkeeping: every
+// in-flight segment is queued for retransmission.
+func (s *Sender) MarkAllInflightLost() {
+	for seq := s.cumAck; seq < s.nextSeq; seq++ {
+		if s.state[seq] == segInflight {
+			s.state[seq] = segLost
+			s.retxQ = append(s.retxQ, seq)
+		}
+	}
+	s.inflight = 0
+}
+
+// SendProbe emits a PASE loss-discrimination probe for segment seq.
+func (s *Sender) SendProbe(seq int32) {
+	p := &pkt.Packet{
+		ID:     s.st.nextPktID(),
+		Flow:   s.Spec.ID,
+		Src:    s.Spec.Src,
+		Dst:    s.Spec.Dst,
+		Type:   pkt.Probe,
+		Seq:    seq,
+		Size:   pkt.HeaderSize,
+		SentAt: s.Now(),
+	}
+	s.ctrl.FillData(s, p)
+	s.st.Host.Send(p)
+}
+
+// onAck processes an arriving Ack or ProbeAck.
+func (s *Sender) onAck(p *pkt.Packet) {
+	if s.Done {
+		return
+	}
+	if p.Type == pkt.ProbeAck {
+		if h, ok := s.ctrl.(ProbeAckHandler); ok {
+			h.OnProbeAck(s, p)
+		}
+		return
+	}
+
+	var newly int32
+	var rttSample sim.Duration
+
+	if p.SackSeq >= 0 && p.SackSeq < s.Segs {
+		seq := p.SackSeq
+		if s.state[seq] != segAcked {
+			if s.state[seq] == segInflight {
+				s.inflight--
+			}
+			s.state[seq] = segAcked
+			s.ackedCount++
+			s.ackedBytes += int64(pkt.SegmentWireSize(s.Spec.Size, seq) - pkt.HeaderSize)
+			newly++
+		}
+		if !s.retransmitted[seq] && p.SentAt > 0 {
+			rttSample = s.Now().Sub(p.SentAt)
+			s.updateRTT(rttSample)
+		}
+	}
+	// The cumulative field can cover segments whose individual ACKs
+	// were lost.
+	if p.CumAck > s.cumAck {
+		for seq := s.cumAck; seq < p.CumAck && seq < s.Segs; seq++ {
+			if s.state[seq] != segAcked {
+				if s.state[seq] == segInflight {
+					s.inflight--
+				}
+				s.state[seq] = segAcked
+				s.ackedCount++
+				s.ackedBytes += int64(pkt.SegmentWireSize(s.Spec.Size, seq) - pkt.HeaderSize)
+				newly++
+			}
+		}
+	}
+	advanced := false
+	for s.cumAck < s.Segs && s.state[s.cumAck] == segAcked {
+		s.cumAck++
+		advanced = true
+	}
+
+	if s.ackedCount >= s.Segs {
+		s.finish()
+		return
+	}
+
+	if newly > 0 && advanced {
+		s.dupAcks = 0
+		s.backoff = 0
+		s.resetRTO()
+	} else if !advanced {
+		s.dupAcks++
+		if !s.NoFastRetx && s.dupAcks >= 3 && s.cumAck >= s.recoverSeq {
+			// Fast retransmit of the first missing segment.
+			if s.state[s.cumAck] == segInflight {
+				s.MarkLost(s.cumAck)
+				s.recoverSeq = s.nextSeq
+				s.dupAcks = 0
+				s.ctrl.OnLoss(s)
+			}
+		}
+	}
+
+	s.ctrl.OnAck(s, p, newly, rttSample)
+	s.trySend()
+}
+
+func (s *Sender) updateRTT(sample sim.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		return
+	}
+	diff := s.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar = (3*s.rttvar + diff) / 4
+	s.srtt = (7*s.srtt + sample) / 8
+}
+
+// RTO returns the current retransmission timeout with backoff applied.
+func (s *Sender) RTO() sim.Duration {
+	if s.FixedRTO > 0 {
+		return s.FixedRTO
+	}
+	rto := s.srtt + 4*s.rttvar
+	if min := s.ctrl.MinRTO(s); rto < min {
+		rto = min
+	}
+	for i := 0; i < s.backoff; i++ {
+		rto *= 2
+		if rto >= AbsMaxRTO {
+			return AbsMaxRTO
+		}
+	}
+	return rto
+}
+
+func (s *Sender) armRTO() {
+	if s.Done {
+		return
+	}
+	if s.rtoTimer.Pending() {
+		return
+	}
+	s.rtoTimer = s.st.Eng.Schedule(s.RTO(), func() { s.onTimeout() })
+}
+
+func (s *Sender) resetRTO() {
+	s.rtoTimer.Stop()
+	s.armRTO()
+}
+
+func (s *Sender) onTimeout() {
+	if s.Done {
+		return
+	}
+	s.Timeouts++
+	if s.backoff < maxRTOBackoff {
+		s.backoff++
+	}
+	if s.ctrl.OnTimeout(s) {
+		s.armRTO()
+		return
+	}
+	s.MarkAllInflightLost()
+	s.trySend()
+	s.armRTO()
+}
+
+// ForceTimeoutRecovery runs the framework's default timeout recovery;
+// protocols that partially handle OnTimeout can call it.
+func (s *Sender) ForceTimeoutRecovery() {
+	s.MarkAllInflightLost()
+	s.trySend()
+}
+
+// Kick resumes transmission after an external event (arbitration
+// response, hold release) changed what the flow may send.
+func (s *Sender) Kick() { s.trySend() }
+
+// AbsorbProbeAck folds a ProbeAck's reception state into the sender:
+// when the receiver holds the probed segment the ACK was merely lost
+// or delayed, so the segment is acknowledged; otherwise the data
+// packet itself was lost and is queued for retransmission.
+func (s *Sender) AbsorbProbeAck(p *pkt.Packet) {
+	if s.Done {
+		return
+	}
+	seq := p.SackSeq
+	if p.Have && seq >= 0 && seq < s.Segs {
+		if s.state[seq] != segAcked {
+			if s.state[seq] == segInflight {
+				s.inflight--
+			}
+			s.state[seq] = segAcked
+			s.ackedCount++
+			s.ackedBytes += int64(pkt.SegmentWireSize(s.Spec.Size, seq) - pkt.HeaderSize)
+		}
+	} else if seq >= 0 && seq < s.Segs && s.state[seq] == segInflight {
+		s.MarkLost(seq)
+	}
+	if p.CumAck > s.cumAck {
+		for q := s.cumAck; q < p.CumAck && q < s.Segs; q++ {
+			if s.state[q] != segAcked {
+				if s.state[q] == segInflight {
+					s.inflight--
+				}
+				s.state[q] = segAcked
+				s.ackedCount++
+				s.ackedBytes += int64(pkt.SegmentWireSize(s.Spec.Size, q) - pkt.HeaderSize)
+			}
+		}
+	}
+	for s.cumAck < s.Segs && s.state[s.cumAck] == segAcked {
+		s.cumAck++
+	}
+	if s.ackedCount >= s.Segs {
+		s.finish()
+		return
+	}
+	s.trySend()
+}
+
+// Abort terminates the flow without completing it (used by PDQ's
+// Early Termination). The flow is recorded as incomplete.
+func (s *Sender) Abort() {
+	if s.Done {
+		return
+	}
+	s.Done = true
+	s.Aborted = true
+	s.FinishTime = s.Now()
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
+	s.st.flowAborted(s)
+}
+
+func (s *Sender) finish() {
+	s.Done = true
+	s.FinishTime = s.Now()
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
+	s.st.flowDone(s)
+}
+
+// ProbeAckHandler is implemented by Controls that use SendProbe (PASE).
+type ProbeAckHandler interface {
+	OnProbeAck(s *Sender, p *pkt.Packet)
+}

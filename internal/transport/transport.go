@@ -1,0 +1,185 @@
+// Package transport implements the end-host transport framework every
+// protocol under study plugs into: per-host stacks that demultiplex
+// packets to per-flow senders and receivers, reliable delivery
+// (sequencing, per-packet ACKs with selective feedback, fast
+// retransmit, retransmission timeouts with exponential backoff), RTT
+// estimation, and both window-based and rate-paced transmission.
+//
+// Protocol behaviour — congestion control, priority/rank stamping,
+// timeout policy — is supplied through the Control interface;
+// subpackages implement DCTCP, D2TCP, L2DCT, pFabric and PDQ, and
+// internal/core/endhost implements the PASE transport.
+package transport
+
+import (
+	"fmt"
+
+	"pase/internal/metrics"
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/workload"
+)
+
+// Control is the per-flow protocol hook. The framework calls it at
+// well-defined points; it manipulates the Sender's window, rate,
+// priority and timers through the Sender's exported surface.
+type Control interface {
+	// Name identifies the protocol in logs and results.
+	Name() string
+	// Init is called once when the flow starts, before any
+	// transmission. It must set the initial window (or pacing rate).
+	Init(s *Sender)
+	// OnAck is called for every arriving ACK after the framework has
+	// updated cumulative/selective state. newly is the number of
+	// segments this ACK newly acknowledged (0 for a duplicate);
+	// rttSample is a valid RTT measurement or 0.
+	OnAck(s *Sender, ack *pkt.Packet, newly int32, rttSample sim.Duration)
+	// OnLoss is called when fast retransmit declares a segment lost
+	// (the typical reaction is a multiplicative decrease).
+	OnLoss(s *Sender)
+	// OnTimeout is called when the retransmission timer fires, before
+	// the framework's default recovery (mark every outstanding
+	// segment lost and retransmit). Returning true suppresses the
+	// default — the protocol has handled recovery itself (e.g.
+	// PASE's probing).
+	OnTimeout(s *Sender) bool
+	// FillData stamps protocol header fields (Prio, Rank, ECT) on an
+	// outgoing data packet.
+	FillData(s *Sender, p *pkt.Packet)
+	// MinRTO returns the protocol's retransmission-timeout floor for
+	// this flow in its current state.
+	MinRTO(s *Sender) sim.Duration
+}
+
+// Stack is the per-host transport instance: it owns every sender and
+// receiver terminating at its host.
+type Stack struct {
+	Eng  *sim.Engine
+	Host *netem.Host
+	// NewControl builds the protocol instance for an outgoing flow.
+	NewControl func(s *Sender) Control
+	// Collector, when set, receives a FlowRecord per finished flow.
+	Collector *metrics.Collector
+	// BaseRTT estimates the propagation RTT to a destination; used to
+	// seed RTO and window computations before any sample exists.
+	BaseRTT func(dst pkt.NodeID) sim.Duration
+	// OnFlowDone, when set, is invoked after a flow completes.
+	OnFlowDone func(s *Sender)
+	// CtrlHandler, when set, receives arbitration control-plane
+	// packets addressed to this host (PASE wires its arbitration
+	// client here).
+	CtrlHandler func(p *pkt.Packet)
+
+	senders   map[pkt.FlowID]*Sender
+	receivers map[pkt.FlowID]*receiver
+	pktID     uint64
+}
+
+// NewStack wires a Stack onto a host and installs its packet handler.
+func NewStack(eng *sim.Engine, host *netem.Host) *Stack {
+	st := &Stack{
+		Eng:       eng,
+		Host:      host,
+		senders:   make(map[pkt.FlowID]*Sender),
+		receivers: make(map[pkt.FlowID]*receiver),
+	}
+	host.Handler = st.receive
+	return st
+}
+
+// NICRate returns the host's access-link rate.
+func (st *Stack) NICRate() netem.BitRate { return st.Host.Port().Rate() }
+
+// Sender returns the sender for a flow, or nil.
+func (st *Stack) Sender(id pkt.FlowID) *Sender { return st.senders[id] }
+
+// ActiveSenders returns the number of unfinished senders on this host.
+func (st *Stack) ActiveSenders() int { return len(st.senders) }
+
+func (st *Stack) nextPktID() uint64 {
+	st.pktID++
+	return st.pktID
+}
+
+// StartFlow begins transmitting the given flow from this stack's host.
+func (st *Stack) StartFlow(spec workload.FlowSpec) *Sender {
+	if spec.Src != st.Host.ID() {
+		panic(fmt.Sprintf("transport: flow %d src %d started on host %d", spec.ID, spec.Src, st.Host.ID()))
+	}
+	if _, dup := st.senders[spec.ID]; dup {
+		panic(fmt.Sprintf("transport: duplicate flow id %d", spec.ID))
+	}
+	s := newSender(st, spec)
+	st.senders[spec.ID] = s
+	s.ctrl = st.NewControl(s)
+	s.ctrl.Init(s)
+	s.trySend()
+	return s
+}
+
+// receive demultiplexes an arriving packet.
+func (st *Stack) receive(p *pkt.Packet) {
+	switch p.Type {
+	case pkt.Data, pkt.Probe:
+		st.receiverFor(p).onPacket(p)
+	case pkt.Ack, pkt.ProbeAck:
+		if s, ok := st.senders[p.Flow]; ok {
+			s.onAck(p)
+		}
+	case pkt.Ctrl:
+		if st.CtrlHandler != nil {
+			st.CtrlHandler(p)
+		}
+	}
+}
+
+func (st *Stack) receiverFor(p *pkt.Packet) *receiver {
+	r, ok := st.receivers[p.Flow]
+	if !ok {
+		r = newReceiver(st, p)
+		st.receivers[p.Flow] = r
+	}
+	return r
+}
+
+// flowDone finalizes a completed sender.
+func (st *Stack) flowDone(s *Sender) {
+	delete(st.senders, s.Spec.ID)
+	if st.Collector != nil && !s.Spec.Background {
+		st.Collector.Add(metrics.FlowRecord{
+			ID:       uint64(s.Spec.ID),
+			Task:     s.Spec.Task,
+			Size:     s.Spec.Size,
+			Start:    s.Spec.Start,
+			Finish:   s.FinishTime,
+			Deadline: s.Spec.Deadline,
+			Done:     true,
+			Retx:     s.Retx,
+			Timeouts: s.Timeouts,
+		})
+	}
+	if st.OnFlowDone != nil {
+		st.OnFlowDone(s)
+	}
+}
+
+// flowAborted finalizes a killed flow: it is recorded as incomplete.
+func (st *Stack) flowAborted(s *Sender) {
+	delete(st.senders, s.Spec.ID)
+	if st.Collector != nil && !s.Spec.Background {
+		st.Collector.Add(metrics.FlowRecord{
+			ID:       uint64(s.Spec.ID),
+			Task:     s.Spec.Task,
+			Size:     s.Spec.Size,
+			Start:    s.Spec.Start,
+			Deadline: s.Spec.Deadline,
+			Done:     false,
+			Retx:     s.Retx,
+			Timeouts: s.Timeouts,
+		})
+	}
+	if st.OnFlowDone != nil {
+		st.OnFlowDone(s)
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pase/internal/sim"
+)
+
+// Empirical draws flow sizes from a piecewise-linear CDF — the way the
+// data-center transport literature encodes measured workloads. Points
+// must be sorted by Size with strictly increasing CDF values ending at
+// 1.0.
+type Empirical struct {
+	name   string
+	points []CDFPoint
+	mean   float64
+}
+
+// CDFPoint anchors the empirical distribution: Fraction of flows have
+// size <= Size bytes.
+type CDFPoint struct {
+	Size     int64
+	Fraction float64
+}
+
+// NewEmpirical validates and builds an empirical distribution.
+func NewEmpirical(name string, points []CDFPoint) (*Empirical, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: empirical %q needs >= 2 points", name)
+	}
+	for i, p := range points {
+		if p.Size <= 0 || p.Fraction < 0 || p.Fraction > 1 {
+			return nil, fmt.Errorf("workload: empirical %q point %d out of range", name, i)
+		}
+		if i > 0 && (p.Size <= points[i-1].Size || p.Fraction <= points[i-1].Fraction) {
+			return nil, fmt.Errorf("workload: empirical %q not strictly increasing at %d", name, i)
+		}
+	}
+	if points[len(points)-1].Fraction != 1 {
+		return nil, fmt.Errorf("workload: empirical %q must end at fraction 1.0", name)
+	}
+	e := &Empirical{name: name, points: points}
+	e.mean = e.computeMean()
+	return e, nil
+}
+
+// MustEmpirical is NewEmpirical for package-level literals.
+func MustEmpirical(name string, points []CDFPoint) *Empirical {
+	e, err := NewEmpirical(name, points)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// computeMean integrates the piecewise-linear inverse CDF.
+func (e *Empirical) computeMean() float64 {
+	var mean float64
+	prevF := 0.0
+	prevS := float64(e.points[0].Size)
+	// Mass below the first anchor is treated as the first size.
+	mean += e.points[0].Fraction * prevS
+	prevF = e.points[0].Fraction
+	for _, p := range e.points[1:] {
+		// Uniform interpolation between anchors: average size over
+		// the segment is the midpoint.
+		mean += (p.Fraction - prevF) * (prevS + float64(p.Size)) / 2
+		prevF = p.Fraction
+		prevS = float64(p.Size)
+	}
+	return mean
+}
+
+// Sample implements SizeDist by inverse-transform sampling with linear
+// interpolation between anchors.
+func (e *Empirical) Sample(r *sim.Rand) int64 {
+	u := r.Float64()
+	idx := sort.Search(len(e.points), func(i int) bool { return e.points[i].Fraction >= u })
+	if idx == 0 {
+		return e.points[0].Size
+	}
+	lo, hi := e.points[idx-1], e.points[idx]
+	frac := (u - lo.Fraction) / (hi.Fraction - lo.Fraction)
+	size := float64(lo.Size) + frac*float64(hi.Size-lo.Size)
+	if size < 1 {
+		size = 1
+	}
+	return int64(size)
+}
+
+// Mean implements SizeDist.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+func (e *Empirical) String() string { return e.name }
+
+// WebSearch is the DCTCP/pFabric web-search workload: mostly short
+// query/coordination traffic with a heavy tail of multi-MB responses
+// (≈30 KB mean ≈ 1.6 MB due to the tail).
+var WebSearch = MustEmpirical("websearch", []CDFPoint{
+	{Size: 6 * 1024, Fraction: 0.15},
+	{Size: 13 * 1024, Fraction: 0.2},
+	{Size: 19 * 1024, Fraction: 0.3},
+	{Size: 33 * 1024, Fraction: 0.4},
+	{Size: 53 * 1024, Fraction: 0.53},
+	{Size: 133 * 1024, Fraction: 0.6},
+	{Size: 667 * 1024, Fraction: 0.7},
+	{Size: 1333 * 1024, Fraction: 0.8},
+	{Size: 3333 * 1024, Fraction: 0.9},
+	{Size: 6667 * 1024, Fraction: 0.97},
+	{Size: 20000 * 1024, Fraction: 1.0},
+})
+
+// DataMining is the VL2/pFabric data-mining workload: the majority of
+// flows are a few KB with an extreme elephant tail.
+var DataMining = MustEmpirical("datamining", []CDFPoint{
+	{Size: 100, Fraction: 0.1},
+	{Size: 180, Fraction: 0.2},
+	{Size: 250, Fraction: 0.3},
+	{Size: 560, Fraction: 0.4},
+	{Size: 900, Fraction: 0.5},
+	{Size: 1100, Fraction: 0.6},
+	{Size: 1870, Fraction: 0.7},
+	{Size: 3160, Fraction: 0.8},
+	{Size: 10000, Fraction: 0.9},
+	{Size: 400000, Fraction: 0.95},
+	{Size: 3160000, Fraction: 0.98},
+	{Size: 100000000, Fraction: 1.0},
+})

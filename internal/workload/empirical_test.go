@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pase/internal/sim"
+)
+
+func TestEmpiricalValidation(t *testing.T) {
+	cases := [][]CDFPoint{
+		nil,
+		{{Size: 100, Fraction: 1}}, // too few
+		{{Size: 100, Fraction: 0.5}, {Size: 50, Fraction: 1}},     // sizes not increasing
+		{{Size: 100, Fraction: 0.5}, {Size: 200, Fraction: 0.4}},  // fractions not increasing
+		{{Size: 100, Fraction: 0.5}, {Size: 200, Fraction: 0.9}},  // doesn't end at 1
+		{{Size: -5, Fraction: 0.5}, {Size: 200, Fraction: 1}},     // bad size
+		{{Size: 100, Fraction: -0.1}, {Size: 200, Fraction: 1.0}}, // bad fraction
+	}
+	for i, pts := range cases {
+		if _, err := NewEmpirical("bad", pts); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := NewEmpirical("ok", []CDFPoint{{Size: 10, Fraction: 0.5}, {Size: 100, Fraction: 1}}); err != nil {
+		t.Fatalf("valid distribution rejected: %v", err)
+	}
+}
+
+func TestEmpiricalSamplesWithinSupport(t *testing.T) {
+	r := sim.NewRand(3)
+	for _, d := range []*Empirical{WebSearch, DataMining} {
+		max := d.points[len(d.points)-1].Size
+		for i := 0; i < 20000; i++ {
+			v := d.Sample(r)
+			if v < 1 || v > max {
+				t.Fatalf("%s: sample %d outside support", d, v)
+			}
+		}
+	}
+}
+
+func TestEmpiricalMeanMatchesSamples(t *testing.T) {
+	r := sim.NewRand(4)
+	for _, d := range []*Empirical{WebSearch, DataMining} {
+		const n = 400000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(r))
+		}
+		got := sum / n
+		want := d.Mean()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: empirical mean %.0f vs analytic %.0f", d, got, want)
+		}
+	}
+}
+
+func TestEmpiricalQuantilesRoughlyMatchAnchors(t *testing.T) {
+	r := sim.NewRand(5)
+	const n = 200000
+	var below int
+	for i := 0; i < n; i++ {
+		if WebSearch.Sample(r) <= 133*1024 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.6) > 0.02 {
+		t.Fatalf("P(size <= 133KB) = %.3f, want ≈0.60", frac)
+	}
+}
+
+// Property: samples are monotone in the underlying uniform draw
+// (inverse-transform correctness).
+func TestEmpiricalInverseMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		// The distribution object must be stateless: two streams with
+		// equal seeds produce identical samples.
+		a, b := sim.NewRand(seed), sim.NewRand(seed)
+		for i := 0; i < 100; i++ {
+			if WebSearch.Sample(a) != WebSearch.Sample(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalInWorkloadSpec(t *testing.T) {
+	spec := Spec{
+		Pattern:   AllToAll{Hosts: HostRange(0, 10)},
+		Sizes:     WebSearch,
+		Load:      0.5,
+		Reference: 10_000_000_000,
+		NumFlows:  100,
+	}
+	flows := spec.Generate(sim.NewRand(6), 1)
+	if len(flows) != 100 {
+		t.Fatalf("generated %d flows", len(flows))
+	}
+	for _, f := range flows {
+		if f.Size <= 0 {
+			t.Fatal("non-positive flow size")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+func faninSpec(fanin, flows int) Spec {
+	return Spec{
+		Pattern:   AllToAll{Hosts: HostRange(0, 20)},
+		Sizes:     UniformSize{Min: 2000, Max: 198000},
+		Load:      0.8,
+		Reference: 20 * netem.Gbps,
+		NumFlows:  flows,
+		Fanin:     fanin,
+	}
+}
+
+func TestFaninBurstsShareStartAndDst(t *testing.T) {
+	r := sim.NewRand(4)
+	flows := faninSpec(10, 200).Generate(r, 1)
+	if len(flows) != 200 {
+		t.Fatalf("generated %d flows, want 200", len(flows))
+	}
+	// Group by start time: each burst has one destination and
+	// distinct sources, none equal to the destination.
+	byStart := map[sim.Time][]FlowSpec{}
+	for _, f := range flows {
+		byStart[f.Start] = append(byStart[f.Start], f)
+	}
+	bursts := 0
+	for _, group := range byStart {
+		if len(group) == 1 {
+			continue
+		}
+		bursts++
+		dst := group[0].Dst
+		seen := map[pkt.NodeID]bool{}
+		for _, f := range group {
+			if f.Dst != dst {
+				t.Fatal("burst with mixed destinations")
+			}
+			if f.Src == dst {
+				t.Fatal("worker equals aggregator")
+			}
+			if seen[f.Src] {
+				t.Fatal("duplicate worker in one burst")
+			}
+			seen[f.Src] = true
+		}
+		if len(group) > 10 {
+			t.Fatalf("burst of %d flows exceeds fanin", len(group))
+		}
+	}
+	if bursts < 15 {
+		t.Fatalf("only %d bursts for 200 flows at fanin 10", bursts)
+	}
+}
+
+func TestFaninAggregatorsRoundRobin(t *testing.T) {
+	r := sim.NewRand(5)
+	flows := faninSpec(19, 19*40).Generate(r, 1)
+	counts := map[pkt.NodeID]int{}
+	for _, f := range flows {
+		counts[f.Dst]++
+	}
+	if len(counts) != 20 {
+		t.Fatalf("aggregators used = %d, want all 20", len(counts))
+	}
+	for dst, c := range counts {
+		if c != 38 { // 40 queries / 20 aggregators × 19 workers
+			t.Fatalf("aggregator %d served %d flows, want 38", dst, c)
+		}
+	}
+}
+
+func TestFaninPreservesOfferedLoad(t *testing.T) {
+	// The aggregate byte arrival rate must match load × reference
+	// regardless of fan-in.
+	for _, fanin := range []int{1, 5, 19} {
+		r := sim.NewRand(6)
+		spec := faninSpec(fanin, 5000)
+		flows := spec.Generate(r, 1)
+		var bytes float64
+		for _, f := range flows {
+			bytes += float64(f.Size)
+		}
+		span := flows[len(flows)-1].Start.Sub(0).Seconds()
+		gotBits := bytes * 8 / span
+		wantBits := spec.Load * float64(spec.Reference)
+		if math.Abs(gotBits-wantBits)/wantBits > 0.1 {
+			t.Fatalf("fanin %d: offered %.3g bps, want %.3g", fanin, gotBits, wantBits)
+		}
+	}
+}
+
+func TestFaninRequiresAllToAll(t *testing.T) {
+	spec := faninSpec(10, 10)
+	spec.Pattern = LeftRight{Left: HostRange(0, 10), Right: HostRange(10, 20)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fanin with non-AllToAll pattern should panic")
+		}
+	}()
+	spec.Generate(sim.NewRand(1), 1)
+}
+
+func TestFaninLargerThanRackClamps(t *testing.T) {
+	r := sim.NewRand(7)
+	spec := faninSpec(50, 60) // only 19 possible workers
+	flows := spec.Generate(r, 1)
+	byStart := map[sim.Time]int{}
+	for _, f := range flows {
+		byStart[f.Start]++
+	}
+	for _, n := range byStart {
+		if n > 19 {
+			t.Fatalf("burst of %d flows exceeds available workers", n)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package workload synthesizes the traffic the paper evaluates on:
+// Poisson flow arrivals with configurable size distributions, the
+// three traffic patterns used in the evaluation (intra-rack
+// all-to-all, left-right inter-rack, worker-aggregator), optional
+// per-flow deadlines, and long-lived background flows.
+package workload
+
+import (
+	"fmt"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// FlowSpec describes one flow to run: the demand side of the
+// simulation, independent of any transport protocol.
+type FlowSpec struct {
+	ID    pkt.FlowID
+	Src   pkt.NodeID
+	Dst   pkt.NodeID
+	Size  int64    // payload bytes
+	Start sim.Time // arrival time
+	// Deadline is the absolute completion deadline; zero means none.
+	Deadline sim.Time
+	// Background marks a long-lived flow that never finishes within
+	// the run; it is excluded from FCT statistics.
+	Background bool
+	// Task groups flows that belong to one application-level unit of
+	// work (e.g. the responses of one query). 0 means untasked. Task
+	// ids increase in task arrival order, so they double as a
+	// FIFO-across-tasks scheduling criterion (Baraat-style task-aware
+	// scheduling, which the paper's Algorithm 1 supports by swapping
+	// FlowSize for a task id).
+	Task uint64
+}
+
+func (f FlowSpec) String() string {
+	return fmt.Sprintf("flow %d: %d->%d %dB @%v", f.ID, f.Src, f.Dst, f.Size, f.Start)
+}
+
+// SizeDist draws flow sizes.
+type SizeDist interface {
+	Sample(r *sim.Rand) int64
+	// Mean returns the analytic expectation, used to convert offered
+	// load into a Poisson arrival rate.
+	Mean() float64
+	String() string
+}
+
+// UniformSize draws uniformly from [Min, Max] bytes — the paper's
+// query/short-message workload is U[2 KB, 198 KB] and the deadline
+// workload U[100 KB, 500 KB].
+type UniformSize struct {
+	Min, Max int64
+}
+
+// Sample implements SizeDist.
+func (u UniformSize) Sample(r *sim.Rand) int64 { return r.UniformInt(u.Min, u.Max) }
+
+// Mean implements SizeDist.
+func (u UniformSize) Mean() float64 { return float64(u.Min+u.Max) / 2 }
+
+func (u UniformSize) String() string { return fmt.Sprintf("U[%d,%d]B", u.Min, u.Max) }
+
+// FixedSize always draws the same size.
+type FixedSize int64
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(*sim.Rand) int64 { return int64(f) }
+
+// Mean implements SizeDist.
+func (f FixedSize) Mean() float64 { return float64(f) }
+
+func (f FixedSize) String() string { return fmt.Sprintf("%dB", int64(f)) }
+
+// ExpSize draws exponentially distributed sizes with the given mean,
+// clamped below at MinBytes (one packet by default).
+type ExpSize struct {
+	MeanBytes float64
+	MinBytes  int64
+}
+
+// Sample implements SizeDist.
+func (e ExpSize) Sample(r *sim.Rand) int64 {
+	v := int64(r.Exp(e.MeanBytes))
+	min := e.MinBytes
+	if min <= 0 {
+		min = 1
+	}
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Mean implements SizeDist.
+func (e ExpSize) Mean() float64 { return e.MeanBytes }
+
+func (e ExpSize) String() string { return fmt.Sprintf("Exp(%.0fB)", e.MeanBytes) }
+
+// Pattern picks (src, dst) pairs for arriving flows.
+type Pattern interface {
+	Pair(r *sim.Rand) (src, dst pkt.NodeID)
+	// Senders lists the hosts that can originate flows (used to place
+	// background flows).
+	Senders() []pkt.NodeID
+	String() string
+}
+
+// AllToAll picks a uniform random ordered pair of distinct hosts —
+// the paper's intra-rack all-to-all scenario (e.g. web-search workers
+// and aggregators within one rack, aggregators picked round-robin).
+type AllToAll struct {
+	Hosts []pkt.NodeID
+}
+
+// Pair implements Pattern.
+func (a AllToAll) Pair(r *sim.Rand) (pkt.NodeID, pkt.NodeID) {
+	if len(a.Hosts) < 2 {
+		panic("workload: AllToAll needs at least two hosts")
+	}
+	si := r.Intn(len(a.Hosts))
+	di := r.Intn(len(a.Hosts) - 1)
+	if di >= si {
+		di++
+	}
+	return a.Hosts[si], a.Hosts[di]
+}
+
+// Senders implements Pattern.
+func (a AllToAll) Senders() []pkt.NodeID { return a.Hosts }
+
+func (a AllToAll) String() string { return fmt.Sprintf("all-to-all(%d hosts)", len(a.Hosts)) }
+
+// LeftRight sends from a uniformly chosen left-set host to a uniformly
+// chosen right-set host — the paper's inter-rack scenario where
+// front-ends and back-ends live in different subtrees and the
+// aggregation-core link is the bottleneck.
+type LeftRight struct {
+	Left, Right []pkt.NodeID
+}
+
+// Pair implements Pattern.
+func (lr LeftRight) Pair(r *sim.Rand) (pkt.NodeID, pkt.NodeID) {
+	if len(lr.Left) == 0 || len(lr.Right) == 0 {
+		panic("workload: LeftRight needs non-empty sides")
+	}
+	return lr.Left[r.Intn(len(lr.Left))], lr.Right[r.Intn(len(lr.Right))]
+}
+
+// Senders implements Pattern.
+func (lr LeftRight) Senders() []pkt.NodeID { return lr.Left }
+
+func (lr LeftRight) String() string {
+	return fmt.Sprintf("left-right(%d->%d hosts)", len(lr.Left), len(lr.Right))
+}
+
+// FixedPairs cycles deterministically through an explicit pair list
+// (used by micro-benchmarks and the Figure 3 toy scenario).
+type FixedPairs struct {
+	Pairs [][2]pkt.NodeID
+	next  int
+}
+
+// Pair implements Pattern.
+func (fp *FixedPairs) Pair(*sim.Rand) (pkt.NodeID, pkt.NodeID) {
+	p := fp.Pairs[fp.next%len(fp.Pairs)]
+	fp.next++
+	return p[0], p[1]
+}
+
+// Senders implements Pattern.
+func (fp *FixedPairs) Senders() []pkt.NodeID {
+	var out []pkt.NodeID
+	for _, p := range fp.Pairs {
+		out = append(out, p[0])
+	}
+	return out
+}
+
+func (fp *FixedPairs) String() string { return fmt.Sprintf("fixed(%d pairs)", len(fp.Pairs)) }
+
+// Spec is a complete workload description.
+type Spec struct {
+	Pattern Pattern
+	Sizes   SizeDist
+
+	// Load is the offered load in (0, 1], relative to Reference.
+	Load float64
+	// Reference is the capacity the load is defined against: the
+	// bottleneck the experiment saturates (e.g. the 10 Gbps agg-core
+	// link for left-right, sum of receiver edge links for all-to-all).
+	Reference netem.BitRate
+
+	// NumFlows is how many short flows to generate.
+	NumFlows int
+
+	// DeadlineMin/Max, when positive, draw a uniform relative
+	// deadline for every flow (the paper uses 5–25 ms).
+	DeadlineMin, DeadlineMax sim.Duration
+
+	// Fanin, when > 1, makes every arrival a query event in the
+	// worker–aggregator style: Fanin flows from distinct random
+	// workers start simultaneously toward one aggregator, aggregators
+	// taken round-robin for load balancing (§2.1 and §4.2.2 of the
+	// paper). The Pattern must be AllToAll. NumFlows still counts
+	// individual flows.
+	Fanin int
+
+	// Background flows: long-lived transfers started at time zero
+	// between pattern-chosen pairs (the paper runs two).
+	BackgroundFlows int
+	// BackgroundSize is the size of each background flow; it should
+	// be large enough to outlive the run (default 1 GB).
+	BackgroundSize int64
+}
+
+// ArrivalRate returns the Poisson arrival rate (flows/sec) implied by
+// the offered load.
+func (s Spec) ArrivalRate() float64 {
+	if s.Load <= 0 || s.Reference <= 0 {
+		panic("workload: Spec needs positive Load and Reference")
+	}
+	meanBits := s.Sizes.Mean() * 8
+	return s.Load * float64(s.Reference) / meanBits
+}
+
+// Generate materializes the workload: background flows at t=0 followed
+// by NumFlows Poisson arrivals. IDs start at firstID and increase.
+func (s Spec) Generate(r *sim.Rand, firstID pkt.FlowID) []FlowSpec {
+	var out []FlowSpec
+	id := firstID
+
+	bgSize := s.BackgroundSize
+	if bgSize == 0 {
+		bgSize = 1 << 30
+	}
+	for i := 0; i < s.BackgroundFlows; i++ {
+		src, dst := s.Pattern.Pair(r)
+		out = append(out, FlowSpec{
+			ID: id, Src: src, Dst: dst, Size: bgSize, Start: 0, Background: true,
+		})
+		id++
+	}
+
+	meanGap := sim.Duration(float64(sim.Second) / s.ArrivalRate())
+	if s.Fanin > 1 {
+		// Query events of Fanin simultaneous flows each.
+		meanGap *= sim.Duration(s.Fanin)
+	}
+	t := sim.Time(0)
+	aggNext := 0
+	for i := 0; i < s.NumFlows; {
+		t = t.Add(r.ExpDuration(meanGap))
+		if s.Fanin <= 1 {
+			src, dst := s.Pattern.Pair(r)
+			out = append(out, s.flow(r, id, src, dst, t))
+			id++
+			i++
+			continue
+		}
+		a2a, ok := s.Pattern.(AllToAll)
+		if !ok {
+			panic("workload: Fanin requires the AllToAll pattern")
+		}
+		dst := a2a.Hosts[aggNext%len(a2a.Hosts)]
+		aggNext++
+		task := uint64(aggNext) // tasks numbered in arrival order
+		workers := pickWorkers(r, a2a.Hosts, dst, s.Fanin)
+		for _, src := range workers {
+			if i >= s.NumFlows {
+				break
+			}
+			f := s.flow(r, id, src, dst, t)
+			f.Task = task
+			out = append(out, f)
+			id++
+			i++
+		}
+	}
+	return out
+}
+
+func (s Spec) flow(r *sim.Rand, id pkt.FlowID, src, dst pkt.NodeID, t sim.Time) FlowSpec {
+	f := FlowSpec{ID: id, Src: src, Dst: dst, Size: s.Sizes.Sample(r), Start: t}
+	if s.DeadlineMax > 0 {
+		d := sim.Duration(r.UniformInt(int64(s.DeadlineMin), int64(s.DeadlineMax)))
+		f.Deadline = t.Add(d)
+	}
+	return f
+}
+
+// pickWorkers draws k distinct hosts other than dst.
+func pickWorkers(r *sim.Rand, hosts []pkt.NodeID, dst pkt.NodeID, k int) []pkt.NodeID {
+	pool := make([]pkt.NodeID, 0, len(hosts)-1)
+	for _, h := range hosts {
+		if h != dst {
+			pool = append(pool, h)
+		}
+	}
+	if k > len(pool) {
+		k = len(pool)
+	}
+	perm := r.Perm(len(pool))
+	out := make([]pkt.NodeID, 0, k)
+	for _, idx := range perm[:k] {
+		out = append(out, pool[idx])
+	}
+	return out
+}
+
+// HostRange returns the NodeIDs [lo, hi).
+func HostRange(lo, hi int) []pkt.NodeID {
+	out := make([]pkt.NodeID, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, pkt.NodeID(i))
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+// Package pase is a from-scratch Go implementation of PASE
+// ("Friends, not Foes — Synthesizing Existing Transport Strategies for
+// Data Center Networks", SIGCOMM 2014) together with the packet-level
+// network simulator, the baseline transports it is evaluated against
+// (DCTCP, D2TCP, L2DCT, pFabric, PDQ), and the paper's full
+// experimental harness.
+//
+// PASE synthesizes three transport strategies:
+//
+//   - arbitration: a control plane of per-link arbitrators maps every
+//     flow to a priority queue and a reference rate (Algorithm 1),
+//     organized bottom-up over the data-center tree with early pruning
+//     and delegation for scalability;
+//   - in-network prioritization: commodity switches schedule packets
+//     with a handful of strict-priority queues plus ECN;
+//   - self-adjusting endpoints: a DCTCP-derived transport uses the
+//     (queue, reference rate) guidance for its window (Algorithm 2)
+//     and probes for spare capacity on its own.
+//
+// # Quick start
+//
+// Run one simulation point and inspect the headline metrics:
+//
+//	rep, err := pase.Simulate(pase.SimConfig{
+//		Protocol: pase.ProtocolPASE,
+//		Scenario: pase.ScenarioIntraRack,
+//		Load:     0.7,
+//		NumFlows: 1000,
+//	})
+//	fmt.Println(rep.AFCT, rep.P99, rep.LossRate)
+//
+// Regenerate a figure from the paper:
+//
+//	fig, err := pase.RunFigure("9a", pase.FigureOpts{NumFlows: 2000})
+//	fmt.Println(fig.Render())
+//
+// Lower-level building blocks (the discrete-event engine, queue
+// disciplines, topologies, transports) live under internal/ and are
+// exercised through this façade and the cmd/ binaries.
+package pase
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pase/internal/experiments"
+)
+
+// Protocol selects a transport implementation.
+type Protocol string
+
+// The transports implemented in this repository.
+const (
+	ProtocolDCTCP   Protocol = Protocol(experiments.DCTCP)
+	ProtocolD2TCP   Protocol = Protocol(experiments.D2TCP)
+	ProtocolL2DCT   Protocol = Protocol(experiments.L2DCT)
+	ProtocolPFabric Protocol = Protocol(experiments.PFabric)
+	ProtocolPDQ     Protocol = Protocol(experiments.PDQ)
+	ProtocolPASE    Protocol = Protocol(experiments.PASE)
+)
+
+// Protocols lists every available transport.
+func Protocols() []Protocol {
+	return []Protocol{ProtocolDCTCP, ProtocolD2TCP, ProtocolL2DCT,
+		ProtocolPFabric, ProtocolPDQ, ProtocolPASE}
+}
+
+// Scenario selects one of the paper's evaluation settings.
+type Scenario string
+
+// The paper's scenarios (§4).
+const (
+	// ScenarioLeftRight: 3-tier fabric (160 hosts, 4:1
+	// oversubscription); the left 80 hosts send to the right 80 and
+	// the aggregation-core link is the bottleneck.
+	ScenarioLeftRight Scenario = Scenario(experiments.LeftRight)
+	// ScenarioIntraRack: 20-host rack, random pairs, U[2,198] KB.
+	ScenarioIntraRack Scenario = Scenario(experiments.IntraRack)
+	// ScenarioIntraRackLarge: 20-host rack, U[100,500] KB.
+	ScenarioIntraRackLarge Scenario = Scenario(experiments.IntraRackLarge)
+	// ScenarioWorkerAgg: search-style fan-in — every query draws
+	// simultaneous responses from the rack's workers to one
+	// aggregator.
+	ScenarioWorkerAgg Scenario = Scenario(experiments.WorkerAgg)
+	// ScenarioDeadline: U[100,500] KB with 5–25 ms deadlines.
+	ScenarioDeadline Scenario = Scenario(experiments.Deadline)
+	// ScenarioTestbed: the paper's 10-node testbed, simulated.
+	ScenarioTestbed Scenario = Scenario(experiments.Testbed)
+	// ScenarioLeafSpine: extension — a 4-leaf × 2-spine multipath
+	// fabric with per-flow ECMP.
+	ScenarioLeafSpine Scenario = Scenario(experiments.LeafSpine)
+)
+
+// Scenarios lists every available scenario.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioLeftRight, ScenarioIntraRack,
+		ScenarioIntraRackLarge, ScenarioWorkerAgg, ScenarioDeadline,
+		ScenarioTestbed, ScenarioLeafSpine}
+}
+
+// PASEOptions toggle PASE's internal mechanisms (ablations).
+type PASEOptions struct {
+	// LocalOnly restricts arbitration to the hosts' access links.
+	LocalOnly bool
+	// NoPruning / NoDelegation disable the control-plane overhead
+	// optimizations of §3.1.2.
+	NoPruning    bool
+	NoDelegation bool
+	// NumQueues overrides the switch priority-queue count (default 8).
+	NumQueues int
+	// DisableRefRate ignores the arbitrated reference rate
+	// (the PASE-DCTCP ablation of Fig 13a).
+	DisableRefRate bool
+	// DisableProbing turns off probe-based loss recovery (§4.3.2).
+	DisableProbing bool
+	// NoReorderGuard skips draining before priority promotions.
+	NoReorderGuard bool
+	// TaskAware arbitrates task-carrying flows FIFO by task id
+	// instead of shortest-remaining-first (Baraat-style task-aware
+	// scheduling, the alternative criterion §3.1.1 names).
+	TaskAware bool
+}
+
+// SimConfig describes one simulation run.
+type SimConfig struct {
+	Protocol Protocol
+	Scenario Scenario
+	// Load is the offered load in (0, 1] relative to the scenario's
+	// bottleneck capacity.
+	Load float64
+	// NumFlows is the number of foreground flows (default 2000).
+	NumFlows int
+	// Seed makes runs reproducible; equal seeds give identical runs.
+	Seed uint64
+	// IncludeFlowLog populates Report.FlowLog with per-flow outcomes.
+	IncludeFlowLog bool
+	// PASE ablation switches (PASE protocol only).
+	PASE PASEOptions
+}
+
+// CDFPoint is one step of an empirical FCT distribution.
+type CDFPoint struct {
+	FCT      time.Duration
+	Fraction float64
+}
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	// Flows and Completed count foreground flows.
+	Flows     int
+	Completed int
+
+	AFCT time.Duration
+	P50  time.Duration
+	P99  time.Duration
+
+	// AppThroughput is the fraction of deadline flows that met their
+	// deadline (deadline scenarios only).
+	AppThroughput float64
+	DeadlineFlows int
+
+	// LossRate is dropped data packets over attempted transmissions.
+	LossRate float64
+	// CtrlMessages counts control-plane messages (PASE arbitration or
+	// PDQ header exchanges).
+	CtrlMessages int64
+
+	Retransmits int64
+	Timeouts    int64
+
+	CDF []CDFPoint
+
+	// FlowLog holds per-flow outcomes when SimConfig.IncludeFlowLog
+	// is set.
+	FlowLog []FlowOutcome
+}
+
+// FlowOutcome is the per-flow record of a run.
+type FlowOutcome struct {
+	ID       uint64
+	Size     int64
+	Start    time.Duration // simulated time of arrival
+	FCT      time.Duration
+	Deadline time.Duration // zero if none
+	Done     bool
+	Retx     int
+	Timeouts int
+}
+
+// Simulate runs one simulation point.
+func Simulate(cfg SimConfig) (*Report, error) {
+	if cfg.Load <= 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("pase: Load must be in (0, 1], got %v", cfg.Load)
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtocolPASE
+	}
+	if cfg.Scenario == "" {
+		cfg.Scenario = ScenarioIntraRack
+	}
+	if !valid(string(cfg.Protocol), protocolNames()) {
+		return nil, fmt.Errorf("pase: unknown protocol %q", cfg.Protocol)
+	}
+	if !valid(string(cfg.Scenario), scenarioNames()) {
+		return nil, fmt.Errorf("pase: unknown scenario %q", cfg.Scenario)
+	}
+	r := experiments.RunPoint(experiments.PointConfig{
+		Protocol: experiments.Protocol(cfg.Protocol),
+		Scenario: experiments.Scenario(cfg.Scenario),
+		Load:     cfg.Load,
+		Seed:     cfg.Seed,
+		NumFlows: cfg.NumFlows,
+		PASE: experiments.PASEOptions{
+			LocalOnly:      cfg.PASE.LocalOnly,
+			NoPruning:      cfg.PASE.NoPruning,
+			NoDelegation:   cfg.PASE.NoDelegation,
+			NumQueues:      cfg.PASE.NumQueues,
+			DisableRefRate: cfg.PASE.DisableRefRate,
+			DisableProbing: cfg.PASE.DisableProbing,
+			NoReorderGuard: cfg.PASE.NoReorderGuard,
+			TaskAware:      cfg.PASE.TaskAware,
+		},
+	})
+	rep := &Report{
+		Flows:         r.Summary.Flows,
+		Completed:     r.Summary.Completed,
+		AFCT:          r.Summary.AFCT.Std(),
+		P50:           r.Summary.P50.Std(),
+		P99:           r.Summary.P99.Std(),
+		AppThroughput: r.Summary.AppThroughput,
+		DeadlineFlows: r.Summary.DeadlineFlows,
+		LossRate:      r.LossRate,
+		CtrlMessages:  r.CtrlMessages,
+		Retransmits:   r.Summary.Retx,
+		Timeouts:      r.Summary.Timeouts,
+	}
+	for _, p := range r.CDF {
+		rep.CDF = append(rep.CDF, CDFPoint{FCT: p.Value.Std(), Fraction: p.Fraction})
+	}
+	if cfg.IncludeFlowLog {
+		for _, rec := range r.Records {
+			rep.FlowLog = append(rep.FlowLog, FlowOutcome{
+				ID:       rec.ID,
+				Size:     rec.Size,
+				Start:    time.Duration(rec.Start),
+				FCT:      rec.FCT().Std(),
+				Deadline: time.Duration(rec.Deadline),
+				Done:     rec.Done,
+				Retx:     rec.Retx,
+				Timeouts: rec.Timeouts,
+			})
+		}
+	}
+	return rep, nil
+}
+
+func valid(v string, set []string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func protocolNames() []string {
+	var out []string
+	for _, p := range Protocols() {
+		out = append(out, string(p))
+	}
+	return out
+}
+
+func scenarioNames() []string {
+	var out []string
+	for _, s := range Scenarios() {
+		out = append(out, string(s))
+	}
+	return out
+}
+
+// FigureOpts scale a figure regeneration run.
+type FigureOpts struct {
+	// NumFlows per simulation point (default 2000).
+	NumFlows int
+	// Seed for the synthetic workloads.
+	Seed uint64
+	// Seeds averages every sweep point over this many consecutive
+	// seeds (0 or 1 = single run).
+	Seeds int
+	// Loads overrides the figure's load sweep (fractions in (0,1]).
+	Loads []float64
+}
+
+// FigureSeries is one curve of a regenerated figure.
+type FigureSeries struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// FigureData is a regenerated table/figure from the paper.
+type FigureData struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []FigureSeries
+	Notes  []string
+
+	raw *experiments.Result
+}
+
+// Render formats the figure as aligned text columns.
+func (f *FigureData) Render() string { return f.raw.Render() }
+
+// WriteTSV writes the figure as tab-separated values for plotting.
+func (f *FigureData) WriteTSV(w io.Writer) error { return f.raw.WriteTSV(w) }
+
+// FigureInfo describes one reproducible experiment.
+type FigureInfo struct {
+	ID    string
+	Title string
+}
+
+// ListFigures enumerates every table/figure the harness regenerates.
+func ListFigures() []FigureInfo {
+	var out []FigureInfo
+	for _, f := range experiments.Figures {
+		out = append(out, FigureInfo{ID: f.ID, Title: f.Title})
+	}
+	return out
+}
+
+// RunFigure regenerates one figure by ID ("1", "2", "3", "4", "9a" …
+// "13b", "probing").
+func RunFigure(id string, opts FigureOpts) (*FigureData, error) {
+	fig, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("pase: unknown figure %q (see ListFigures)", id)
+	}
+	res := fig.Run(experiments.Opts{NumFlows: opts.NumFlows, Seed: opts.Seed, Seeds: opts.Seeds, Loads: opts.Loads})
+	out := &FigureData{
+		ID: res.ID, Title: res.Title,
+		XLabel: res.XLabel, YLabel: res.YLabel,
+		Notes: res.Notes,
+		raw:   res,
+	}
+	for _, s := range res.Series {
+		out.Series = append(out.Series, FigureSeries{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	return out, nil
+}

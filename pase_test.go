@@ -1,0 +1,92 @@
+package pase_test
+
+import (
+	"strings"
+	"testing"
+
+	"pase"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := pase.Simulate(pase.SimConfig{Load: 0}); err == nil {
+		t.Fatal("zero load must be rejected")
+	}
+	if _, err := pase.Simulate(pase.SimConfig{Load: 1.5}); err == nil {
+		t.Fatal("load > 1 must be rejected")
+	}
+	if _, err := pase.Simulate(pase.SimConfig{Load: 0.5, Protocol: "SCTP"}); err == nil {
+		t.Fatal("unknown protocol must be rejected")
+	}
+	if _, err := pase.Simulate(pase.SimConfig{Load: 0.5, Scenario: "moon-base"}); err == nil {
+		t.Fatal("unknown scenario must be rejected")
+	}
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	rep, err := pase.Simulate(pase.SimConfig{Load: 0.5, NumFlows: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 50 {
+		t.Fatalf("completed = %d, want 50", rep.Completed)
+	}
+	if rep.AFCT <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if len(rep.CDF) == 0 {
+		t.Fatal("CDF missing")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := pase.SimConfig{Protocol: pase.ProtocolPASE, Scenario: pase.ScenarioIntraRack,
+		Load: 0.6, NumFlows: 80, Seed: 9}
+	a, err := pase.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pase.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AFCT != b.AFCT || a.P99 != b.P99 || a.CtrlMessages != b.CtrlMessages {
+		t.Fatalf("identical configs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestEveryProtocolEveryScenarioSmoke(t *testing.T) {
+	for _, p := range pase.Protocols() {
+		for _, s := range pase.Scenarios() {
+			rep, err := pase.Simulate(pase.SimConfig{
+				Protocol: p, Scenario: s, Load: 0.4, NumFlows: 40, Seed: 3,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p, s, err)
+			}
+			if rep.Completed < 35 {
+				t.Errorf("%s/%s: only %d/40 flows completed", p, s, rep.Completed)
+			}
+		}
+	}
+}
+
+func TestListFiguresAndRun(t *testing.T) {
+	figs := pase.ListFigures()
+	if len(figs) != 19 {
+		t.Fatalf("got %d figures, want 19", len(figs))
+	}
+	if _, err := pase.RunFigure("bogus", pase.FigureOpts{}); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+	fig, err := pase.RunFigure("13b", pase.FigureOpts{NumFlows: 60, Loads: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("figure 13b has %d series, want 2", len(fig.Series))
+	}
+	text := fig.Render()
+	if !strings.Contains(text, "PASE") || !strings.Contains(text, "DCTCP") {
+		t.Fatalf("render missing series names:\n%s", text)
+	}
+}
