@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build vet test race bench-smoke bench snapshot ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel point pool and the experiment determinism tests under
+# the race detector; sim is included because the engine is what the
+# pooled goroutines drive hardest.
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
+# One-iteration figure regenerations: catches perf cliffs and keeps
+# the bench harness compiling without paying full bench time.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkFig03|BenchmarkFig09a|BenchmarkFig10a' -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1000x -run '^$$' ./internal/sim/ ./internal/netem/
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim/ ./internal/netem/
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Record a BENCH_<date>.json perf snapshot (see cmd/benchsnap).
+snapshot:
+	$(GO) run ./cmd/benchsnap
+
+ci: vet build test race bench-smoke

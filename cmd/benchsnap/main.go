@@ -1,0 +1,164 @@
+// Command benchsnap records a performance snapshot of the evaluation
+// pipeline: engine micro-benchmark ns/op plus wall-clock and headline
+// metrics for a set of figures, written as BENCH_<date>.json. Commit
+// one snapshot per perf-relevant PR and the series becomes the perf
+// trajectory of the repository.
+//
+// Examples:
+//
+//	benchsnap                         # default figure set, BENCH_<date>.json
+//	benchsnap -figs 9a,10a -flows 500
+//	benchsnap -out snapshots/ -parallel 1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"pase"
+	"pase/internal/sim"
+)
+
+// Snapshot is the schema of one BENCH_<date>.json file.
+type Snapshot struct {
+	Date        string         `json:"date"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Parallelism int            `json:"parallelism"`
+	Flows       int            `json:"flows"`
+	Engine      EngineBench    `json:"engine"`
+	Figures     []FigureRecord `json:"figures"`
+	TotalMS     float64        `json:"total_ms"`
+}
+
+// EngineBench holds the in-process simulator micro-benchmarks.
+type EngineBench struct {
+	ScheduleFireNsOp float64 `json:"schedule_fire_ns_per_op"`
+	TimerChurnNsOp   float64 `json:"timer_churn_ns_per_op"`
+}
+
+// FigureRecord is one figure's timing plus its headline metrics (the
+// final Y value of every series — what the bench harness reports).
+type FigureRecord struct {
+	ID      string             `json:"id"`
+	WallMS  float64            `json:"wall_ms"`
+	Loads   []float64          `json:"loads,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		figs     = flag.String("figs", "3,9a,9b,10a,10c,probing", "comma-separated figure ids to snapshot")
+		flows    = flag.Int("flows", 250, "foreground flows per simulation point")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		loads    = flag.String("loads", "0.5,0.8", "load sweep for the swept figures")
+		parallel = flag.Int("parallel", 0, "simulation points run concurrently (0 = one per CPU)")
+		out      = flag.String("out", "", "output file or directory (default BENCH_<date>.json in the working directory)")
+	)
+	flag.Parse()
+
+	var loadVals []float64
+	for _, s := range strings.Split(*loads, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: bad load %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		loadVals = append(loadVals, v)
+	}
+
+	snap := Snapshot{
+		Date:        time.Now().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: *parallel,
+		Flows:       *flows,
+		Engine:      benchEngine(),
+	}
+
+	start := time.Now()
+	for _, id := range strings.Split(*figs, ",") {
+		id = strings.TrimSpace(id)
+		opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Parallelism: *parallel}
+		// CDF figures and the toy example define their own grids.
+		if id != "3" && !strings.HasSuffix(id, "b") {
+			opts.Loads = loadVals
+		}
+		figStart := time.Now()
+		fig, err := pase.RunFigure(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		rec := FigureRecord{
+			ID:      id,
+			WallMS:  float64(time.Since(figStart).Microseconds()) / 1000,
+			Loads:   opts.Loads,
+			Metrics: map[string]float64{},
+		}
+		for _, s := range fig.Series {
+			if len(s.Y) > 0 {
+				rec.Metrics[s.Name] = s.Y[len(s.Y)-1]
+			}
+		}
+		snap.Figures = append(snap.Figures, rec)
+	}
+	snap.TotalMS = float64(time.Since(start).Microseconds()) / 1000
+
+	path := *out
+	switch {
+	case path == "":
+		path = "BENCH_" + snap.Date + ".json"
+	default:
+		if st, err := os.Stat(path); err == nil && st.IsDir() {
+			path = filepath.Join(path, "BENCH_"+snap.Date+".json")
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d figures, %.0f ms total, engine schedule+fire %.1f ns/op)\n",
+		path, len(snap.Figures), snap.TotalMS, snap.Engine.ScheduleFireNsOp)
+}
+
+// benchEngine measures the simulator hot path in-process: the
+// steady-state schedule+fire cycle and schedule+cancel churn, the same
+// shapes as the internal/sim benchmarks.
+func benchEngine() EngineBench {
+	const iters = 2_000_000
+	fn := func() {}
+
+	e := sim.NewEngine()
+	const depth = 512
+	for i := 0; i < depth; i++ {
+		e.Schedule(sim.Duration(i)*sim.Microsecond, fn)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		e.Schedule(depth*sim.Microsecond, fn)
+		e.Step()
+	}
+	fire := float64(time.Since(start).Nanoseconds()) / iters
+
+	e2 := sim.NewEngine()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		e2.Schedule(sim.Millisecond, fn).Stop()
+	}
+	churn := float64(time.Since(start).Nanoseconds()) / iters
+
+	return EngineBench{ScheduleFireNsOp: fire, TimerChurnNsOp: churn}
+}

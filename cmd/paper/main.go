@@ -31,8 +31,9 @@ func main() {
 		flows = flag.Int("flows", 2000, "foreground flows per simulation point")
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		seeds = flag.Int("seeds", 1, "average each sweep point over this many seeds")
-		loads = flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.5,0.8")
-		out   = flag.String("out", "", "also write each figure as TSV into this directory")
+		loads    = flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.5,0.8")
+		out      = flag.String("out", "", "also write each figure as TSV into this directory")
+		parallel = flag.Int("parallel", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial; output is identical at any setting)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds}
+	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds, Parallelism: *parallel}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)

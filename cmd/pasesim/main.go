@@ -24,6 +24,8 @@ func main() {
 		load      = flag.Float64("load", 0.7, "offered load in (0,1]")
 		flows     = flag.Int("flows", 2000, "number of foreground flows")
 		seed      = flag.Uint64("seed", 1, "workload seed")
+		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds and report each plus the mean")
+		parallel  = flag.Int("parallel", 0, "seed runs executed concurrently (0 = one per CPU, 1 = serial)")
 		cdf       = flag.Bool("cdf", false, "print the FCT CDF")
 		localOnly = flag.Bool("local-only", false, "PASE: arbitrate access links only")
 		noPrune   = flag.Bool("no-pruning", false, "PASE: disable early pruning")
@@ -35,7 +37,7 @@ func main() {
 	)
 	flag.Parse()
 
-	rep, err := pase.Simulate(pase.SimConfig{
+	cfg := pase.SimConfig{
 		IncludeFlowLog: *flowLog != "",
 		Protocol:       pase.Protocol(*protocol),
 		Scenario:       pase.Scenario(*scenario),
@@ -50,7 +52,19 @@ func main() {
 			DisableRefRate: *noRefRate,
 			DisableProbing: *noProbing,
 		},
-	})
+	}
+
+	if *seeds > 1 {
+		reps, err := pase.SimulateSeeds(cfg, *seeds, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pasesim:", err)
+			os.Exit(1)
+		}
+		printSeedTable(cfg, *seed, reps)
+		return
+	}
+
+	rep, err := pase.Simulate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pasesim:", err)
 		os.Exit(1)
@@ -85,6 +99,27 @@ func main() {
 		}
 		fmt.Printf("flow log        %s (%d flows)\n", *flowLog, len(rep.FlowLog))
 	}
+}
+
+// printSeedTable reports one row per seed plus the mean of the
+// headline metrics.
+func printSeedTable(cfg pase.SimConfig, firstSeed uint64, reps []*pase.Report) {
+	fmt.Printf("protocol        %s\n", cfg.Protocol)
+	fmt.Printf("scenario        %s\n", cfg.Scenario)
+	fmt.Printf("offered load    %.0f%%\n", cfg.Load*100)
+	fmt.Printf("flows/seed      %d\n\n", reps[0].Flows)
+	fmt.Println("seed    completed     afct_us      p99_us   loss_pct")
+	var afct, p99, loss float64
+	for i, r := range reps {
+		fmt.Printf("%-7d %9d %11d %11d %10.2f\n",
+			firstSeed+uint64(i), r.Completed,
+			r.AFCT.Microseconds(), r.P99.Microseconds(), r.LossRate*100)
+		afct += float64(r.AFCT.Microseconds())
+		p99 += float64(r.P99.Microseconds())
+		loss += r.LossRate * 100
+	}
+	n := float64(len(reps))
+	fmt.Printf("%-7s %9s %11.0f %11.0f %10.2f\n", "mean", "", afct/n, p99/n, loss/n)
 }
 
 // writeFlowLog dumps per-flow outcomes as TSV.

@@ -105,8 +105,8 @@ type control struct {
 	guarding  bool // reorder guard active: draining before promotion
 	probeMode bool // bottom-queue probing instead of data
 
-	refreshTimer *sim.Timer
-	probeTimer   *sim.Timer
+	refreshTimer sim.Timer
+	probeTimer   sim.Timer
 	stopped      bool
 }
 

@@ -22,6 +22,11 @@ type Opts struct {
 	Seeds int
 	// Loads overrides the figure's load sweep when non-empty.
 	Loads []float64
+	// Parallelism bounds how many simulation points run concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Points are hermetic and results
+	// are reassembled in input order, so the produced Series are
+	// identical at every setting.
+	Parallelism int
 }
 
 func (o Opts) seeds() int {
@@ -81,20 +86,33 @@ func paseVariant(name string, s Scenario, opts PASEOptions) variant {
 }
 
 // sweep runs each variant across the loads and extracts one metric,
-// averaging over o.seeds() runs per point.
+// averaging over o.seeds() runs per point. The whole
+// (variant × load × seed) grid fans out over the point pool.
 func sweep(vs []variant, loads []float64, o Opts, metric func(PointResult) float64) []Series {
+	seeds := o.seeds()
+	cfgs := make([]PointConfig, 0, len(vs)*len(loads)*seeds)
+	for _, v := range vs {
+		for _, load := range loads {
+			for k := 0; k < seeds; k++ {
+				so := o
+				so.Seed = o.Seed + uint64(k)
+				cfgs = append(cfgs, v.cfg(load, so))
+			}
+		}
+	}
+	ys := mapPoints(cfgs, o.Parallelism, metric)
 	out := make([]Series, len(vs))
+	idx := 0
 	for i, v := range vs {
 		s := Series{Name: v.name}
 		for _, load := range loads {
 			var sum float64
-			for k := 0; k < o.seeds(); k++ {
-				so := o
-				so.Seed = o.Seed + uint64(k)
-				sum += metric(RunPoint(v.cfg(load, so)))
+			for k := 0; k < seeds; k++ {
+				sum += ys[idx]
+				idx++
 			}
 			s.X = append(s.X, load*100)
-			s.Y = append(s.Y, sum/float64(o.seeds()))
+			s.Y = append(s.Y, sum/float64(seeds))
 		}
 		out[i] = s
 	}
@@ -103,11 +121,15 @@ func sweep(vs []variant, loads []float64, o Opts, metric func(PointResult) float
 
 // cdfSeries runs each variant at one load and returns FCT CDFs.
 func cdfSeries(vs []variant, load float64, o Opts) []Series {
+	cfgs := make([]PointConfig, len(vs))
+	for i, v := range vs {
+		cfgs[i] = v.cfg(load, o)
+	}
+	rs := RunPoints(cfgs, o.Parallelism)
 	out := make([]Series, len(vs))
 	for i, v := range vs {
-		r := RunPoint(v.cfg(load, o))
 		s := Series{Name: v.name}
-		for _, p := range r.CDF {
+		for _, p := range rs[i].CDF {
 			s.X = append(s.X, p.Value.Millis())
 			s.Y = append(s.Y, p.Fraction)
 		}
@@ -254,21 +276,31 @@ func fig11(o Opts, afct bool) *Result {
 	// few percent, comparable to single-run variance.
 	const seeds = 3
 	loads := o.loads(DefaultLoads)
+	cfgs := make([]PointConfig, 0, 2*seeds*len(loads))
+	for _, load := range loads {
+		for seed := uint64(0); seed < seeds; seed++ {
+			on := PointConfig{Protocol: PASE, Scenario: LeftRight,
+				Load: load, Seed: o.Seed + seed, NumFlows: o.NumFlows}
+			off := on
+			off.PASE = PASEOptions{NoPruning: true, NoDelegation: true}
+			cfgs = append(cfgs, on, off)
+		}
+	}
+	type sample struct{ afct, msgs float64 }
+	samples := make([]sample, len(cfgs))
+	forEachPoint(cfgs, o.Parallelism, func(i int, r PointResult) {
+		samples[i] = sample{float64(r.Summary.AFCT), float64(r.CtrlMessages)}
+	})
 	var xs, ys []float64
+	idx := 0
 	for _, load := range loads {
 		var onAFCT, offAFCT, onMsgs, offMsgs float64
-		for seed := uint64(0); seed < seeds; seed++ {
-			so := o
-			so.Seed = o.Seed + seed
-			ron := RunPoint(PointConfig{Protocol: PASE, Scenario: LeftRight,
-				Load: load, Seed: so.Seed, NumFlows: o.NumFlows})
-			roff := RunPoint(PointConfig{Protocol: PASE, Scenario: LeftRight,
-				Load: load, Seed: so.Seed, NumFlows: o.NumFlows,
-				PASE: PASEOptions{NoPruning: true, NoDelegation: true}})
-			onAFCT += float64(ron.Summary.AFCT)
-			offAFCT += float64(roff.Summary.AFCT)
-			onMsgs += float64(ron.CtrlMessages)
-			offMsgs += float64(roff.CtrlMessages)
+		for seed := 0; seed < seeds; seed++ {
+			onAFCT += samples[idx].afct
+			onMsgs += samples[idx].msgs
+			offAFCT += samples[idx+1].afct
+			offMsgs += samples[idx+1].msgs
+			idx += 2
 		}
 		xs = append(xs, load*100)
 		if afct {
@@ -303,28 +335,43 @@ func fig12a(o Opts) *Result {
 	// the expected cost rather than one lucky (or unlucky) draw.
 	const seeds = 3
 	loads := o.loads(append(append([]float64{}, DefaultLoads...), 0.95))
-	mk := func(name string, opts PASEOptions) Series {
-		s := Series{Name: name}
+	arms := []struct {
+		name string
+		opts PASEOptions
+	}{
+		{"Arbitration=ON", PASEOptions{}},
+		{"Arbitration=OFF", PASEOptions{LocalOnly: true}},
+	}
+	cfgs := make([]PointConfig, 0, len(arms)*len(loads)*seeds)
+	for _, arm := range arms {
+		for _, load := range loads {
+			for seed := uint64(0); seed < seeds; seed++ {
+				cfgs = append(cfgs, PointConfig{Protocol: PASE, Scenario: LeftRight,
+					Load: load, Seed: o.Seed + seed, NumFlows: o.NumFlows, PASE: arm.opts})
+			}
+		}
+	}
+	ys := mapPoints(cfgs, o.Parallelism, afctMS)
+	series := make([]Series, len(arms))
+	idx := 0
+	for i, arm := range arms {
+		s := Series{Name: arm.name}
 		for _, load := range loads {
 			var sum float64
-			for seed := uint64(0); seed < seeds; seed++ {
-				r := RunPoint(PointConfig{Protocol: PASE, Scenario: LeftRight,
-					Load: load, Seed: o.Seed + seed, NumFlows: o.NumFlows, PASE: opts})
-				sum += afctMS(r)
+			for seed := 0; seed < seeds; seed++ {
+				sum += ys[idx]
+				idx++
 			}
 			s.X = append(s.X, load*100)
 			s.Y = append(s.Y, sum/seeds)
 		}
-		return s
+		series[i] = s
 	}
 	return &Result{
 		ID: "12a", Title: "End-to-end vs local-only arbitration (left-right)",
 		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: []Series{
-			mk("Arbitration=ON", PASEOptions{}),
-			mk("Arbitration=OFF", PASEOptions{LocalOnly: true}),
-		},
-		Notes: []string{fmt.Sprintf("each point averages %d seeds", seeds)},
+		Series: series,
+		Notes:  []string{fmt.Sprintf("each point averages %d seeds", seeds)},
 	}
 }
 
@@ -432,22 +479,42 @@ func (r *Result) Render() string {
 // from a query's first response starting to its last finishing.
 func figTask(o Opts) *Result {
 	loads := o.loads([]float64{0.3, 0.6, 0.9})
-	mk := func(name string, taskAware bool) (Series, []int) {
-		s := Series{Name: name}
-		var inversions []int
+	arms := []struct {
+		name      string
+		taskAware bool
+	}{
+		{"size-based (SJF)", false},
+		{"task-aware (FIFO-LM)", true},
+	}
+	cfgs := make([]PointConfig, 0, len(arms)*len(loads))
+	for _, arm := range arms {
 		for _, load := range loads {
-			r := RunPoint(PointConfig{Protocol: PASE, Scenario: WorkerAgg,
+			cfgs = append(cfgs, PointConfig{Protocol: PASE, Scenario: WorkerAgg,
 				Load: load, Seed: o.Seed, NumFlows: o.NumFlows,
-				PASE: PASEOptions{TaskAware: taskAware}})
-			tasks := metrics.Tasks(r.Records)
+				PASE: PASEOptions{TaskAware: arm.taskAware}})
+		}
+	}
+	type sample struct {
+		tctMS      float64
+		inversions int
+	}
+	samples := make([]sample, len(cfgs))
+	forEachPoint(cfgs, o.Parallelism, func(i int, r PointResult) {
+		tasks := metrics.Tasks(r.Records)
+		samples[i] = sample{metrics.MeanTCT(tasks).Millis(), metrics.TaskOrderInversions(tasks)}
+	})
+	mk := func(arm int) (Series, []int) {
+		s := Series{Name: arms[arm].name}
+		var inversions []int
+		for j, load := range loads {
 			s.X = append(s.X, load*100)
-			s.Y = append(s.Y, metrics.MeanTCT(tasks).Millis())
-			inversions = append(inversions, metrics.TaskOrderInversions(tasks))
+			s.Y = append(s.Y, samples[arm*len(loads)+j].tctMS)
+			inversions = append(inversions, samples[arm*len(loads)+j].inversions)
 		}
 		return s, inversions
 	}
-	bySize, invSize := mk("size-based (SJF)", false)
-	byTask, invTask := mk("task-aware (FIFO-LM)", true)
+	bySize, invSize := mk(0)
+	byTask, invTask := mk(1)
 	return &Result{
 		ID: "task", Title: "Task-aware vs size-based arbitration (worker-aggregator)",
 		XLabel: "Offered load (%)", YLabel: "Mean task completion time (ms)",

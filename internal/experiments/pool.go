@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Every simulation point is hermetic: RunPoint builds its own
+// sim.Engine, RNG and topology and shares nothing with other points,
+// so a figure's (variant × load × seed) grid can fan out across
+// goroutines. The pool below is the one place that parallelism lives;
+// results always come back in input order, so a figure assembled from
+// pooled points is byte-identical to a serial run.
+
+// forEachPoint runs fn(i, RunPoint(cfgs[i])) for every config across a
+// bounded worker pool. fn is called concurrently from the workers but
+// never twice for the same index. parallelism <= 0 means GOMAXPROCS
+// workers; 1 runs everything inline with no goroutines.
+func forEachPoint(cfgs []PointConfig, parallelism int, fn func(i int, r PointResult)) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			fn(i, RunPoint(cfg))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				fn(i, RunPoint(cfgs[i]))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunPoints executes every config across the pool and returns the
+// results in input order.
+func RunPoints(cfgs []PointConfig, parallelism int) []PointResult {
+	out := make([]PointResult, len(cfgs))
+	forEachPoint(cfgs, parallelism, func(i int, r PointResult) { out[i] = r })
+	return out
+}
+
+// mapPoints is RunPoints for callers that only keep one scalar per
+// point: the metric is applied inside the worker, so the full
+// per-point Records/CDF payloads are released as soon as each point
+// finishes instead of being retained for the whole grid.
+func mapPoints(cfgs []PointConfig, parallelism int, metric func(PointResult) float64) []float64 {
+	out := make([]float64, len(cfgs))
+	forEachPoint(cfgs, parallelism, func(i int, r PointResult) { out[i] = metric(r) })
+	return out
+}

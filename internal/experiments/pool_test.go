@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The pool's contract: parallel execution must be invisible in the
+// output. These tests run down-scaled figures serially and with 8
+// workers and require byte-identical Series; `go test -race` over this
+// file doubles as the data-race check on the pool.
+
+func seriesEqual(t *testing.T, name string, serial, parallel []Series) {
+	t.Helper()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("%s: parallel series diverge from serial\nserial:   %+v\nparallel: %+v",
+			name, serial, parallel)
+	}
+}
+
+func figSerialVsParallel(t *testing.T, id string, o Opts) {
+	t.Helper()
+	fig, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("figure %s missing", id)
+	}
+	so := o
+	so.Parallelism = 1
+	po := o
+	po.Parallelism = 8
+	serial := fig.Run(so)
+	parallel := fig.Run(po)
+	seriesEqual(t, "figure "+id, serial.Series, parallel.Series)
+	if !reflect.DeepEqual(serial.Notes, parallel.Notes) {
+		t.Fatalf("figure %s: notes diverge: %v vs %v", id, serial.Notes, parallel.Notes)
+	}
+}
+
+// Figure 9a: a plain metric sweep (3 variants × loads).
+func TestParallelDeterminismFig9a(t *testing.T) {
+	figSerialVsParallel(t, "9a", Opts{NumFlows: 80, Seed: 5, Loads: []float64{0.4, 0.7}})
+}
+
+// Figure 9b: the CDF path, where whole distributions must match.
+func TestParallelDeterminismFig9b(t *testing.T) {
+	figSerialVsParallel(t, "9b", Opts{NumFlows: 80, Seed: 5})
+}
+
+// Figure 11a: the pruning+delegation ablation with its paired
+// on/off runs and multi-seed averaging.
+func TestParallelDeterminismAblation11a(t *testing.T) {
+	figSerialVsParallel(t, "11a", Opts{NumFlows: 60, Seed: 5, Loads: []float64{0.7}})
+}
+
+func TestRunPointsOrderAndCompleteness(t *testing.T) {
+	// Results come back in input order regardless of which worker
+	// finishes first; heterogenous configs keep them distinguishable.
+	var cfgs []PointConfig
+	for _, load := range []float64{0.2, 0.5, 0.8} {
+		for _, p := range []Protocol{DCTCP, PASE} {
+			cfgs = append(cfgs, PointConfig{Protocol: p, Scenario: IntraRack,
+				Load: load, Seed: 3, NumFlows: 50})
+		}
+	}
+	serial := RunPoints(cfgs, 1)
+	parallel := RunPoints(cfgs, 8)
+	if len(serial) != len(cfgs) || len(parallel) != len(cfgs) {
+		t.Fatalf("result count: serial=%d parallel=%d want %d",
+			len(serial), len(parallel), len(cfgs))
+	}
+	for i := range cfgs {
+		if serial[i].Summary.AFCT != parallel[i].Summary.AFCT ||
+			serial[i].CtrlMessages != parallel[i].CtrlMessages ||
+			serial[i].LossRate != parallel[i].LossRate {
+			t.Fatalf("point %d (%s @ %g): serial %+v vs parallel %+v",
+				i, cfgs[i].Protocol, cfgs[i].Load, serial[i].Summary, parallel[i].Summary)
+		}
+	}
+}
+
+func TestRunPointsEdgeCases(t *testing.T) {
+	if got := RunPoints(nil, 4); len(got) != 0 {
+		t.Fatalf("empty input should yield empty output, got %d", len(got))
+	}
+	one := []PointConfig{{Protocol: DCTCP, Scenario: IntraRack, Load: 0.5, Seed: 1, NumFlows: 40}}
+	// More workers than work, zero (= GOMAXPROCS) and negative
+	// parallelism must all behave.
+	for _, par := range []int{-1, 0, 1, 16} {
+		got := RunPoints(one, par)
+		if len(got) != 1 || got[0].Summary.Completed != 40 {
+			t.Fatalf("parallelism %d: %+v", par, got[0].Summary)
+		}
+	}
+}
+
+func TestMapPointsMatchesRunPoints(t *testing.T) {
+	cfgs := []PointConfig{
+		{Protocol: DCTCP, Scenario: IntraRack, Load: 0.4, Seed: 2, NumFlows: 50},
+		{Protocol: PASE, Scenario: IntraRack, Load: 0.6, Seed: 2, NumFlows: 50},
+	}
+	full := RunPoints(cfgs, 1)
+	ys := mapPoints(cfgs, 4, afctMS)
+	for i := range cfgs {
+		if ys[i] != afctMS(full[i]) {
+			t.Fatalf("point %d: mapPoints %v vs RunPoints %v", i, ys[i], afctMS(full[i]))
+		}
+	}
+}

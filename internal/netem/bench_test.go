@@ -21,6 +21,7 @@ func benchPackets(n int) []*pkt.Packet {
 func benchQueue(b *testing.B, q Queue) {
 	b.Helper()
 	ps := benchPackets(256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := ps[i%len(ps)]

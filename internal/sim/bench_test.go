@@ -4,6 +4,7 @@ import "testing"
 
 func BenchmarkScheduleAndRun(b *testing.B) {
 	e := NewEngine()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Schedule(Duration(i%1000)*Microsecond, func() {})
@@ -18,6 +19,7 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 
 func BenchmarkTimerChurn(b *testing.B) {
 	e := NewEngine()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := e.Schedule(Millisecond, func() {})
@@ -25,8 +27,29 @@ func BenchmarkTimerChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleFireSteady measures the steady-state schedule+fire
+// cycle with a populated calendar — the shape of the simulator's inner
+// loop (every fired packet event schedules its successors).
+func BenchmarkScheduleFireSteady(b *testing.B) {
+	e := NewEngine()
+	const depth = 512
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(Duration(i)*Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(depth)*Microsecond, fn)
+		e.Step()
+	}
+	for e.Step() {
+	}
+}
+
 func BenchmarkRandUint64(b *testing.B) {
 	r := NewRand(1)
+	b.ReportAllocs()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
 		sink ^= r.Uint64()
@@ -36,6 +59,7 @@ func BenchmarkRandUint64(b *testing.B) {
 
 func BenchmarkRandExp(b *testing.B) {
 	r := NewRand(1)
+	b.ReportAllocs()
 	var sink float64
 	for i := 0; i < b.N; i++ {
 		sink += r.Exp(1)

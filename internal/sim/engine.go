@@ -1,20 +1,25 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Engine is the discrete-event simulation core. It owns the virtual
 // clock and the pending-event calendar. All model components schedule
 // callbacks on the engine; Run drains the calendar in time order.
 //
 // Engine is not safe for concurrent use: the whole simulation runs on
-// one goroutine, which keeps event execution deterministic.
+// one goroutine, which keeps event execution deterministic. Distinct
+// engines share nothing and may run on distinct goroutines.
+//
+// Internally the calendar is a 4-ary min-heap of recycled event
+// records: cancellation is O(1) lazy deletion (the record is marked
+// dead and discarded when it surfaces), and fired or dead records
+// return to a bounded free list instead of the garbage collector.
 type Engine struct {
 	now     Time
 	events  eventHeap
-	seq     uint64 // monotonically increasing tie-breaker
+	free    []*event // recycled records, capped at maxFree
+	dead    int      // stopped events still sitting in the heap
+	seq     uint64   // monotonically increasing tie-breaker
 	stopped bool
 	// Executed counts the number of events dispatched so far; it is
 	// exposed for tests and for runaway-simulation guards.
@@ -24,6 +29,16 @@ type Engine struct {
 	Limit uint64
 }
 
+// maxFree bounds the free list so a burst of scheduling does not pin
+// memory for the rest of the run. Records beyond the cap are left to
+// the garbage collector.
+const maxFree = 4096
+
+// compactMinDead is the floor below which Stop never triggers heap
+// compaction; above it, compaction runs once dead events outnumber
+// live ones, keeping the heap at most ~2× the live event count.
+const compactMinDead = 64
+
 // NewEngine returns an Engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{}
@@ -32,39 +47,60 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Timer is a handle to a scheduled event, used for cancellation.
-// A nil *Timer is valid and inert: Stop on it is a no-op.
+// event is one calendar entry. Records are owned by the engine and
+// recycled after they fire or are cancelled; outstanding Timer handles
+// detect reuse through the generation counter.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	eng     *Engine
+	gen     uint32
+	stopped bool
+}
+
+// Timer is a handle to a scheduled event, used for cancellation. The
+// zero Timer is valid and inert: Stop and Pending on it report false.
+// A Timer whose event already fired is equally inert — the generation
+// check makes Stop on a stale handle a no-op even though the engine
+// has recycled the underlying record for a different event.
 type Timer struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 once popped or stopped
-	stopped  bool
-	engine   *Engine
-	priority int8 // lower fires first among events at the same instant
+	ev  *event
+	gen uint32
+	at  Time
 }
 
 // Stop cancels the timer. It reports whether the timer was still
-// pending (false if it had already fired or been stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.stopped || t.index < 0 {
+// pending (false if it had already fired or been stopped). The event
+// record stays in the calendar, marked dead, and is dropped when it
+// reaches the top of the heap — cancellation never pays a sift.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.stopped {
 		return false
 	}
-	t.stopped = true
-	heap.Remove(&t.engine.events, t.index)
+	ev.stopped = true
+	ev.fn = nil // release the closure immediately
+	e := ev.eng
+	e.dead++
+	if e.dead > compactMinDead && e.dead > len(e.events)-e.dead {
+		e.compact()
+	}
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool { return t != nil && !t.stopped && t.index >= 0 }
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.stopped
+}
 
 // Deadline returns the time at which the timer fires (or fired).
-func (t *Timer) Deadline() Time { return t.at }
+func (t Timer) Deadline() Time { return t.at }
 
 // Schedule runs fn after delay d. A negative delay is treated as zero
 // (fn runs at the current instant, after already-queued events for
 // this instant that were scheduled earlier).
-func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+func (e *Engine) Schedule(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -73,26 +109,69 @@ func (e *Engine) Schedule(d Duration, fn func()) *Timer {
 
 // At runs fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn, engine: e}
-	heap.Push(&e.events, tm)
-	return tm
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.events.push(ev)
+	return Timer{ev: ev, gen: ev.gen, at: t}
+}
+
+// alloc takes an event record off the free list, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{eng: e}
+}
+
+// recycle invalidates outstanding handles and returns the record to
+// the free list (or the garbage collector once the list is full).
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.stopped = false
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
+}
+
+// peek discards dead records until the earliest live event surfaces,
+// returning nil when the calendar holds no live events.
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.stopped {
+			return ev
+		}
+		e.events.popTop()
+		e.dead--
+		e.recycle(ev)
+	}
+	return nil
 }
 
 // Step executes the single earliest pending event. It reports false
-// when the calendar is empty.
+// when the calendar holds no live events.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	ev := e.peek()
+	if ev == nil {
 		return false
 	}
-	tm := heap.Pop(&e.events).(*Timer)
-	e.now = tm.at
+	e.events.popTop()
+	e.now = ev.at
 	e.Executed++
-	tm.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -118,7 +197,8 @@ func (e *Engine) RunUntil(deadline Time) error {
 		if e.Limit > 0 && e.Executed >= e.Limit {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.Limit, e.now)
 		}
-		if e.events.Len() == 0 || e.events[0].at > deadline {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
 			break
 		}
 		e.Step()
@@ -132,40 +212,113 @@ func (e *Engine) RunUntil(deadline Time) error {
 // Stop makes Run return after the event currently executing.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return e.events.Len() }
+// Pending returns the number of live (not cancelled) events queued.
+func (e *Engine) Pending() int { return len(e.events) - e.dead }
 
-// eventHeap orders timers by (time, seq); seq breaks ties in FIFO
-// scheduling order, which keeps runs deterministic.
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// compact filters dead records out of the heap in one O(n) pass and
+// re-establishes the heap property, bounding the memory cancelled
+// events can hold.
+func (e *Engine) compact() {
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.stopped {
+			e.recycle(ev)
+			continue
+		}
+		live = append(live, ev)
 	}
-	return h[i].seq < h[j].seq
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.dead = 0
+	e.events.heapify()
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// freeLen reports the free-list size (test hook).
+func (e *Engine) freeLen() int { return len(e.free) }
+
+// heapLen reports the calendar size including dead records (test hook).
+func (e *Engine) heapLen() int { return len(e.events) }
+
+// eventHeap is a 4-ary min-heap ordered by (time, seq); seq breaks
+// ties in FIFO scheduling order. Since every (time, seq) key is
+// unique the pop order is a total order — runs are deterministic
+// regardless of heap shape. The wider node fans out fewer cache-missed
+// levels per sift than a binary heap, which is what the hot path pays.
+type eventHeap []*event
+
+func (h eventHeap) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
-func (h *eventHeap) Push(x any) {
-	tm := x.(*Timer)
-	tm.index = len(*h)
-	*h = append(*h, tm)
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	h.siftUp(len(*h) - 1)
 }
 
-func (h *eventHeap) Pop() any {
+// popTop removes the minimum element. Callers peek h[0] first.
+func (h *eventHeap) popTop() {
 	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	tm.index = -1
-	*h = old[:n-1]
-	return tm
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+}
+
+func (h eventHeap) siftUp(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		min := -1
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		min = first
+		for c := first + 1; c < last; c++ {
+			if h.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !h.less(h[min], ev) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = ev
+}
+
+// heapify restores the heap property over the whole slice.
+func (h eventHeap) heapify() {
+	if len(h) < 2 {
+		return
+	}
+	for i := (len(h) - 2) / 4; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }

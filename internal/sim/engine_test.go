@@ -79,9 +79,124 @@ func TestTimerStop(t *testing.T) {
 	if ran {
 		t.Fatal("stopped timer fired")
 	}
-	var nilTimer *Timer
-	if nilTimer.Stop() {
-		t.Fatal("nil timer Stop should be false")
+	var zero Timer
+	if zero.Stop() {
+		t.Fatal("zero timer Stop should be false")
+	}
+	if zero.Pending() {
+		t.Fatal("zero timer should not be pending")
+	}
+}
+
+func TestStopSemanticsUnderLazyDeletion(t *testing.T) {
+	// A stopped timer reports Pending() == false immediately, and
+	// Engine.Pending() does not count dead calendar entries even though
+	// lazy deletion leaves them in the heap until they surface.
+	e := NewEngine()
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, e.Schedule(Duration(i+1)*Microsecond, func() {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", e.Pending())
+	}
+	for i := 0; i < 5; i++ {
+		if !timers[i].Stop() {
+			t.Fatalf("Stop %d should report true", i)
+		}
+		if timers[i].Pending() {
+			t.Fatalf("timer %d still pending after Stop", i)
+		}
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d after 5 stops, want 5", e.Pending())
+	}
+	var fired int
+	e.Schedule(20*Microsecond, func() { fired++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", e.Pending())
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestStaleHandleIsInert(t *testing.T) {
+	// After a timer fires, its record is recycled for later events; a
+	// retained handle must not be able to stop the unrelated successor.
+	e := NewEngine()
+	tm := e.Schedule(Microsecond, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	fresh := e.Schedule(Microsecond, func() { ran = true })
+	if tm.Stop() {
+		t.Fatal("stale Stop should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("stale handle should not be pending")
+	}
+	if !fresh.Pending() {
+		t.Fatal("stale Stop must not cancel the recycled event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("successor event did not fire")
+	}
+}
+
+func TestDrainedEngineRetainsNothing(t *testing.T) {
+	// A drained engine must hold no live closure references: every
+	// record is either on the bounded free list with a nil fn or was
+	// released to the GC. This is the leak regression for the old
+	// eventHeap, which kept popped *Timer slots reachable via the
+	// backing array's capacity.
+	e := NewEngine()
+	const n = 3 * maxFree
+	for i := 0; i < n; i++ {
+		e.Schedule(Duration(i)*Microsecond, func() {})
+	}
+	for e.Step() {
+	}
+	if got := e.heapLen(); got != 0 {
+		t.Fatalf("drained heap holds %d records", got)
+	}
+	if got := e.freeLen(); got > maxFree {
+		t.Fatalf("free list = %d records, cap is %d", got, maxFree)
+	}
+	for _, ev := range e.free {
+		if ev.fn != nil {
+			t.Fatal("recycled record still references its callback")
+		}
+	}
+}
+
+func TestCancellationHeavyHeapCompacts(t *testing.T) {
+	// Schedule-then-cancel churn (retransmission timers) must not grow
+	// the calendar without bound: compaction keeps dead records at most
+	// on par with live ones (plus the small fixed floor).
+	e := NewEngine()
+	keep := e.Schedule(Second, func() {})
+	for i := 0; i < 100_000; i++ {
+		e.Schedule(Millisecond, func() {}).Stop()
+	}
+	if got := e.heapLen(); got > 2*compactMinDead+2 {
+		t.Fatalf("heap holds %d records after churn, want bounded", got)
+	}
+	if !keep.Pending() {
+		t.Fatal("live timer lost during compaction")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -90,7 +205,7 @@ func TestStopMidHeap(t *testing.T) {
 	// still fire in order.
 	e := NewEngine()
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		timers = append(timers, e.Schedule(Duration(i+1)*Microsecond, func() { got = append(got, i) }))

@@ -208,7 +208,7 @@ func (sys *System) release(s *transport.Sender) {
 type control struct {
 	sys       *System
 	path      []*topology.Link
-	syncTimer *sim.Timer
+	syncTimer sim.Timer
 	stopped   bool
 }
 

@@ -81,8 +81,8 @@ type Sender struct {
 
 	srtt, rttvar sim.Duration
 	backoff      int
-	rtoTimer     *sim.Timer
-	paceTimer    *sim.Timer
+	rtoTimer     sim.Timer
+	paceTimer    sim.Timer
 
 	// Retx counts retransmitted segments; Timeouts counts RTO firings.
 	Retx     int

@@ -188,10 +188,10 @@ type FlowOutcome struct {
 	Timeouts int
 }
 
-// Simulate runs one simulation point.
-func Simulate(cfg SimConfig) (*Report, error) {
+// normalize validates cfg and fills defaults.
+func normalize(cfg SimConfig) (SimConfig, error) {
 	if cfg.Load <= 0 || cfg.Load > 1 {
-		return nil, fmt.Errorf("pase: Load must be in (0, 1], got %v", cfg.Load)
+		return cfg, fmt.Errorf("pase: Load must be in (0, 1], got %v", cfg.Load)
 	}
 	if cfg.Protocol == "" {
 		cfg.Protocol = ProtocolPASE
@@ -200,12 +200,17 @@ func Simulate(cfg SimConfig) (*Report, error) {
 		cfg.Scenario = ScenarioIntraRack
 	}
 	if !valid(string(cfg.Protocol), protocolNames()) {
-		return nil, fmt.Errorf("pase: unknown protocol %q", cfg.Protocol)
+		return cfg, fmt.Errorf("pase: unknown protocol %q", cfg.Protocol)
 	}
 	if !valid(string(cfg.Scenario), scenarioNames()) {
-		return nil, fmt.Errorf("pase: unknown scenario %q", cfg.Scenario)
+		return cfg, fmt.Errorf("pase: unknown scenario %q", cfg.Scenario)
 	}
-	r := experiments.RunPoint(experiments.PointConfig{
+	return cfg, nil
+}
+
+// pointConfig maps the public config onto the experiment runner's.
+func pointConfig(cfg SimConfig) experiments.PointConfig {
+	return experiments.PointConfig{
 		Protocol: experiments.Protocol(cfg.Protocol),
 		Scenario: experiments.Scenario(cfg.Scenario),
 		Load:     cfg.Load,
@@ -221,7 +226,47 @@ func Simulate(cfg SimConfig) (*Report, error) {
 			NoReorderGuard: cfg.PASE.NoReorderGuard,
 			TaskAware:      cfg.PASE.TaskAware,
 		},
-	})
+	}
+}
+
+// Simulate runs one simulation point.
+func Simulate(cfg SimConfig) (*Report, error) {
+	cfg, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return report(experiments.RunPoint(pointConfig(cfg)), cfg.IncludeFlowLog), nil
+}
+
+// SimulateSeeds runs the same configuration across consecutive
+// workload seeds (cfg.Seed, cfg.Seed+1, …) on a bounded worker pool
+// and returns one Report per seed, in seed order. parallelism <= 0
+// uses one worker per CPU; 1 runs serially. Each report is identical
+// to what Simulate would return for that seed — parallelism only
+// changes wall-clock time.
+func SimulateSeeds(cfg SimConfig, seeds, parallelism int) ([]*Report, error) {
+	cfg, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	cfgs := make([]experiments.PointConfig, seeds)
+	for i := range cfgs {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		cfgs[i] = pointConfig(c)
+	}
+	reps := make([]*Report, seeds)
+	for i, r := range experiments.RunPoints(cfgs, parallelism) {
+		reps[i] = report(r, cfg.IncludeFlowLog)
+	}
+	return reps, nil
+}
+
+// report converts an experiment result into the public Report.
+func report(r experiments.PointResult, includeFlowLog bool) *Report {
 	rep := &Report{
 		Flows:         r.Summary.Flows,
 		Completed:     r.Summary.Completed,
@@ -238,7 +283,7 @@ func Simulate(cfg SimConfig) (*Report, error) {
 	for _, p := range r.CDF {
 		rep.CDF = append(rep.CDF, CDFPoint{FCT: p.Value.Std(), Fraction: p.Fraction})
 	}
-	if cfg.IncludeFlowLog {
+	if includeFlowLog {
 		for _, rec := range r.Records {
 			rep.FlowLog = append(rep.FlowLog, FlowOutcome{
 				ID:       rec.ID,
@@ -252,7 +297,7 @@ func Simulate(cfg SimConfig) (*Report, error) {
 			})
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 func valid(v string, set []string) bool {
@@ -291,6 +336,12 @@ type FigureOpts struct {
 	Seeds int
 	// Loads overrides the figure's load sweep (fractions in (0,1]).
 	Loads []float64
+	// Parallelism bounds how many simulation points run concurrently
+	// (0 = one worker per CPU, 1 = serial). Every point is a hermetic
+	// simulation and results are assembled in a fixed order, so the
+	// figure produced is identical at any setting — parallelism only
+	// changes wall-clock time.
+	Parallelism int
 }
 
 // FigureSeries is one curve of a regenerated figure.
@@ -340,7 +391,8 @@ func RunFigure(id string, opts FigureOpts) (*FigureData, error) {
 	if !ok {
 		return nil, fmt.Errorf("pase: unknown figure %q (see ListFigures)", id)
 	}
-	res := fig.Run(experiments.Opts{NumFlows: opts.NumFlows, Seed: opts.Seed, Seeds: opts.Seeds, Loads: opts.Loads})
+	res := fig.Run(experiments.Opts{NumFlows: opts.NumFlows, Seed: opts.Seed, Seeds: opts.Seeds,
+		Loads: opts.Loads, Parallelism: opts.Parallelism})
 	out := &FigureData{
 		ID: res.ID, Title: res.Title,
 		XLabel: res.XLabel, YLabel: res.YLabel,
