@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-smoke bench snapshot ci
+.PHONY: build vet test race bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -18,17 +18,30 @@ race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
 
 # One-iteration figure regenerations: catches perf cliffs and keeps
-# the bench harness compiling without paying full bench time.
+# the bench harness compiling without paying full bench time. The
+# Fig09a pattern also covers BenchmarkFig09aObsOverhead, so the
+# instrumented path is exercised too.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFig03|BenchmarkFig09a|BenchmarkFig10a' -benchtime 1x -run '^$$' .
 	$(GO) test -bench . -benchtime 1000x -run '^$$' ./internal/sim/ ./internal/netem/
 
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim/ ./internal/netem/
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim/ ./internal/netem/ ./internal/obs/
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# The observability hot path must stay allocation-free: -benchmem makes
+# any stray allocation visible, and the package's own tests assert
+# 0 allocs/op hard.
+obs-bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/obs/
+
+# A small end-to-end run that writes fig9a's TSV + run manifest into
+# artifacts/ (CI uploads the manifest so every build carries a sample).
+manifest-sample:
+	$(GO) run ./cmd/paper -fig 9a -flows 120 -loads 0.5,0.8 -out artifacts -progress=false
 
 # Record a BENCH_<date>.json perf snapshot (see cmd/benchsnap).
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke obs-bench

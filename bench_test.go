@@ -67,6 +67,27 @@ func BenchmarkFig09aLeftRightAFCT(b *testing.B) {
 	b.ReportMetric(lastY(fig, "DCTCP"), "dctcp_afct_ms@80%")
 }
 
+// BenchmarkFig09aObsOverhead is BenchmarkFig09aLeftRightAFCT with the
+// observability registry enabled; the delta between the two is the
+// instrumentation's wall-clock cost (budget: ≤2%).
+func BenchmarkFig09aObsOverhead(b *testing.B) {
+	var fig *pase.FigureData
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = pase.RunFigure("9a", pase.FigureOpts{
+			NumFlows: 250, Seed: 1, Loads: []float64{0.5, 0.8}, Obs: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap := fig.Snapshot()
+	if snap == nil || len(snap.Counters) == 0 {
+		b.Fatal("Obs run produced no snapshot")
+	}
+	b.ReportMetric(float64(len(snap.Counters)), "counters")
+	b.ReportMetric(float64(snap.Counters["sim/events_fired"]), "events_fired")
+}
+
 func BenchmarkFig09bLeftRightCDF(b *testing.B) {
 	benchFigure(b, "9b", 250, nil)
 }

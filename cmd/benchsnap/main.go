@@ -32,9 +32,15 @@ type Snapshot struct {
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Parallelism int            `json:"parallelism"`
 	Flows       int            `json:"flows"`
+	GitRev      string         `json:"git_rev,omitempty"`
 	Engine      EngineBench    `json:"engine"`
 	Figures     []FigureRecord `json:"figures"`
 	TotalMS     float64        `json:"total_ms"`
+	// Obs is the observability snapshot merged across every figure run
+	// of the session — total events fired, packets forwarded, drops,
+	// retransmissions — so perf regressions can be traced to workload
+	// shifts (more retx, deeper queues) rather than guessed at.
+	Obs *pase.Snapshot `json:"obs,omitempty"`
 }
 
 // EngineBench holds the in-process simulator micro-benchmarks.
@@ -79,13 +85,15 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallelism: *parallel,
 		Flows:       *flows,
+		GitRev:      pase.GitRev(),
 		Engine:      benchEngine(),
 	}
 
 	start := time.Now()
+	var obsSnaps []*pase.Snapshot
 	for _, id := range strings.Split(*figs, ",") {
 		id = strings.TrimSpace(id)
-		opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Parallelism: *parallel}
+		opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Parallelism: *parallel, Obs: true}
 		// CDF figures and the toy example define their own grids.
 		if id != "3" && !strings.HasSuffix(id, "b") {
 			opts.Loads = loadVals
@@ -108,8 +116,10 @@ func main() {
 			}
 		}
 		snap.Figures = append(snap.Figures, rec)
+		obsSnaps = append(obsSnaps, fig.Snapshot())
 	}
 	snap.TotalMS = float64(time.Since(start).Microseconds()) / 1000
+	snap.Obs = pase.MergeSnapshots(obsSnaps)
 
 	path := *out
 	switch {

@@ -1,7 +1,10 @@
 // Command paper regenerates the evaluation tables and figures of
 // "Friends, not Foes" (SIGCOMM 2014): for every figure it runs the
 // corresponding protocols across the load sweep on the corresponding
-// scenario and prints the same series the paper plots.
+// scenario and prints the same series the paper plots. Each figure run
+// also emits a JSON run manifest — parameters, git revision,
+// wall-clock cost and the merged observability snapshot — next to the
+// TSV output (or in the working directory when -out is unset).
 //
 // Examples:
 //
@@ -9,11 +12,13 @@
 //	paper -fig 9a
 //	paper -fig 10c -flows 4000
 //	paper -all -flows 1000
+//	paper -fig 9a -parallel 4 -cpuprofile cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"pase"
+	"pase/internal/cliutil"
 )
 
 func main() {
@@ -32,8 +38,12 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		seeds = flag.Int("seeds", 1, "average each sweep point over this many seeds")
 		loads    = flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.5,0.8")
-		out      = flag.String("out", "", "also write each figure as TSV into this directory")
+		out      = flag.String("out", "", "write each figure's TSV and manifest into this directory (default: manifest only, working directory)")
 		parallel = flag.Int("parallel", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial; output is identical at any setting)")
+		obs      = flag.Bool("obs", true, "collect per-run observability and write fig<id>.manifest.json")
+		progress = flag.Bool("progress", true, "live progress meter on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -44,7 +54,8 @@ func main() {
 		return
 	}
 
-	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds, Parallelism: *parallel}
+	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds,
+		Parallelism: *parallel, Obs: *obs}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
@@ -75,28 +86,63 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopCPU, err := cliutil.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+
 	for _, id := range ids {
 		start := time.Now()
-		fig, err := pase.RunFigure(id, opts)
+		meter := cliutil.NewProgress("fig "+id, *progress)
+		figOpts := opts
+		figOpts.Progress = meter.Update
+		fig, err := pase.RunFigure(id, figOpts)
+		meter.Done()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
 		fmt.Println(fig.Render())
-		fmt.Printf("(%d flows/point, seed %d, took %v)\n\n", *flows, *seed, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%d flows/point, seed %d, took %v)\n\n", *flows, *seed, wall.Round(time.Millisecond))
+		base := "fig" + strings.ReplaceAll(id, "/", "_")
 		if *out != "" {
-			path := filepath.Join(*out, "fig"+strings.ReplaceAll(id, "/", "_")+".tsv")
-			f, err := os.Create(path)
-			if err != nil {
+			if err := writeFile(filepath.Join(*out, base+".tsv"), fig.WriteTSV); err != nil {
 				fmt.Fprintln(os.Stderr, "paper:", err)
 				os.Exit(1)
 			}
-			if err := fig.WriteTSV(f); err != nil {
-				f.Close()
+		}
+		if *obs {
+			man := pase.NewRunManifest("paper", fig, figOpts, start, wall)
+			dir := *out
+			if dir == "" {
+				dir = "."
+			}
+			path := filepath.Join(dir, base+".manifest.json")
+			if err := writeFile(path, man.Write); err != nil {
 				fmt.Fprintln(os.Stderr, "paper:", err)
 				os.Exit(1)
 			}
-			f.Close()
+			fmt.Fprintf(os.Stderr, "paper: wrote %s\n", path)
 		}
 	}
+	if err := cliutil.WriteMemProfile(*memProf); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+// writeFile creates path and streams fn into it.
+func writeFile(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

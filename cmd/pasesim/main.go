@@ -1,20 +1,29 @@
 // Command pasesim runs one simulation point — a (protocol, scenario,
 // load) triple — and prints the headline metrics the paper reports.
+// Optional traces expose the run's internals: -flowlog records flow
+// lifecycle events (start/done/abort), -queuetrace samples every
+// port's queue occupancy, -outcomes dumps per-flow results, and -obs
+// writes a run manifest with the merged observability snapshot.
 //
 // Examples:
 //
 //	pasesim -protocol PASE -scenario left-right -load 0.7
 //	pasesim -protocol pFabric -scenario worker-agg -load 0.8 -cdf
 //	pasesim -protocol PASE -scenario left-right -load 0.9 -local-only
+//	pasesim -protocol DCTCP -load 0.8 -flowlog flows.tsv -queuetrace q.tsv
+//	pasesim -protocol PASE -load 0.7 -obs -manifest run.json
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"pase"
+	"pase/internal/cliutil"
 )
 
 func main() {
@@ -33,17 +42,34 @@ func main() {
 		numQueues = flag.Int("queues", 0, "PASE: switch priority queues (default 8)")
 		noRefRate = flag.Bool("no-refrate", false, "PASE: ignore the reference rate (PASE-DCTCP)")
 		noProbing = flag.Bool("no-probing", false, "PASE: disable probe-based recovery")
-		flowLog   = flag.String("flowlog", "", "write a per-flow TSV log to this file")
+		flowLog   = flag.String("flowlog", "", "write the flow event trace (start/done/abort) as TSV to this file")
+		queueLog  = flag.String("queuetrace", "", "write sampled queue occupancies as TSV to this file")
+		queueInt  = flag.Duration("queueinterval", 100*time.Microsecond, "queue sampling interval for -queuetrace")
+		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
+		obs       = flag.Bool("obs", false, "collect run observability and write a manifest (see -manifest)")
+		manifest  = flag.String("manifest", "", "manifest output path (implies -obs; default pasesim.manifest.json when -obs is set)")
+		progress  = flag.Bool("progress", true, "live progress meter on stderr for multi-seed runs")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
+	if *manifest != "" {
+		*obs = true
+	}
+	if *obs && *manifest == "" {
+		*manifest = "pasesim.manifest.json"
+	}
+
 	cfg := pase.SimConfig{
-		IncludeFlowLog: *flowLog != "",
+		IncludeFlowLog: *outcomes != "",
 		Protocol:       pase.Protocol(*protocol),
 		Scenario:       pase.Scenario(*scenario),
 		Load:           *load,
 		NumFlows:       *flows,
 		Seed:           *seed,
+		Obs:            *obs,
+		FlowTrace:      *flowLog != "",
 		PASE: pase.PASEOptions{
 			LocalOnly:      *localOnly,
 			NoPruning:      *noPrune,
@@ -53,26 +79,79 @@ func main() {
 			DisableProbing: *noProbing,
 		},
 	}
+	if *queueLog != "" {
+		cfg.QueueTrace = *queueInt
+	}
 
+	stopCPU, err := cliutil.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fail(err)
+	}
+	defer stopCPU()
+
+	started := time.Now()
+	var reps []*pase.Report
 	if *seeds > 1 {
-		reps, err := pase.SimulateSeeds(cfg, *seeds, *parallel)
+		if *flowLog != "" || *queueLog != "" || *outcomes != "" {
+			fail(fmt.Errorf("-flowlog/-queuetrace/-outcomes need a single run; drop -seeds"))
+		}
+		meter := cliutil.NewProgress(fmt.Sprintf("%s @ %.0f%%", *protocol, *load*100), *progress)
+		cfg.Progress = meter.Update
+		reps, err = pase.SimulateSeeds(cfg, *seeds, *parallel)
+		meter.Done()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pasesim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		printSeedTable(cfg, *seed, reps)
-		return
+	} else {
+		rep, err := pase.Simulate(cfg)
+		if err != nil {
+			fail(err)
+		}
+		reps = []*pase.Report{rep}
+		printReport(cfg, rep, *cdf)
+		if *flowLog != "" {
+			if err := writeTo(*flowLog, rep.WriteFlowTrace); err != nil {
+				fail(err)
+			}
+			fmt.Printf("flow trace      %s (%d events)\n", *flowLog, rep.FlowTraceLen())
+		}
+		if *queueLog != "" {
+			if err := writeTo(*queueLog, rep.WriteQueueTrace); err != nil {
+				fail(err)
+			}
+			fmt.Printf("queue trace     %s (%d samples, every %v)\n", *queueLog, rep.QueueTraceLen(), *queueInt)
+		}
+		if *outcomes != "" {
+			if err := writeFlowOutcomes(*outcomes, rep.FlowLog); err != nil {
+				fail(err)
+			}
+			fmt.Printf("flow outcomes   %s (%d flows)\n", *outcomes, len(rep.FlowLog))
+		}
 	}
 
-	rep, err := pase.Simulate(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pasesim:", err)
-		os.Exit(1)
+	if *obs {
+		man := pase.NewSimManifest("pasesim", cfg, reps, *parallel, started, time.Since(started))
+		if err := writeTo(*manifest, man.Write); err != nil {
+			fail(err)
+		}
+		fmt.Printf("manifest        %s\n", *manifest)
 	}
+	if err := cliutil.WriteMemProfile(*memProf); err != nil {
+		fail(err)
+	}
+}
 
-	fmt.Printf("protocol        %s\n", *protocol)
-	fmt.Printf("scenario        %s\n", *scenario)
-	fmt.Printf("offered load    %.0f%%\n", *load*100)
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pasesim:", err)
+	os.Exit(1)
+}
+
+// printReport dumps one run's headline metrics.
+func printReport(cfg pase.SimConfig, rep *pase.Report, cdf bool) {
+	fmt.Printf("protocol        %s\n", cfg.Protocol)
+	fmt.Printf("scenario        %s\n", cfg.Scenario)
+	fmt.Printf("offered load    %.0f%%\n", cfg.Load*100)
 	fmt.Printf("flows           %d (%d completed)\n", rep.Flows, rep.Completed)
 	fmt.Printf("AFCT            %v\n", rep.AFCT)
 	fmt.Printf("median FCT      %v\n", rep.P50)
@@ -86,18 +165,11 @@ func main() {
 	if rep.CtrlMessages > 0 {
 		fmt.Printf("ctrl messages   %d\n", rep.CtrlMessages)
 	}
-	if *cdf {
+	if cdf {
 		fmt.Println("\nFCT CDF:")
 		for _, p := range rep.CDF {
 			fmt.Printf("%12v  %.4f\n", p.FCT, p.Fraction)
 		}
-	}
-	if *flowLog != "" {
-		if err := writeFlowLog(*flowLog, rep.FlowLog); err != nil {
-			fmt.Fprintln(os.Stderr, "pasesim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("flow log        %s (%d flows)\n", *flowLog, len(rep.FlowLog))
 	}
 }
 
@@ -108,33 +180,53 @@ func printSeedTable(cfg pase.SimConfig, firstSeed uint64, reps []*pase.Report) {
 	fmt.Printf("scenario        %s\n", cfg.Scenario)
 	fmt.Printf("offered load    %.0f%%\n", cfg.Load*100)
 	fmt.Printf("flows/seed      %d\n\n", reps[0].Flows)
-	fmt.Println("seed    completed     afct_us      p99_us   loss_pct")
+	fmt.Println("seed    completed     afct_us      p99_us   loss_pct       retx   timeouts")
 	var afct, p99, loss float64
+	var retx, timeouts int64
 	for i, r := range reps {
-		fmt.Printf("%-7d %9d %11d %11d %10.2f\n",
+		fmt.Printf("%-7d %9d %11d %11d %10.2f %10d %10d\n",
 			firstSeed+uint64(i), r.Completed,
-			r.AFCT.Microseconds(), r.P99.Microseconds(), r.LossRate*100)
+			r.AFCT.Microseconds(), r.P99.Microseconds(), r.LossRate*100,
+			r.Retransmits, r.Timeouts)
 		afct += float64(r.AFCT.Microseconds())
 		p99 += float64(r.P99.Microseconds())
 		loss += r.LossRate * 100
+		retx += r.Retransmits
+		timeouts += r.Timeouts
 	}
 	n := float64(len(reps))
-	fmt.Printf("%-7s %9s %11.0f %11.0f %10.2f\n", "mean", "", afct/n, p99/n, loss/n)
+	fmt.Printf("%-7s %9s %11.0f %11.0f %10.2f %10d %10d\n",
+		"mean", "", afct/n, p99/n, loss/n,
+		retx/int64(len(reps)), timeouts/int64(len(reps)))
 }
 
-// writeFlowLog dumps per-flow outcomes as TSV.
-func writeFlowLog(path string, flows []pase.FlowOutcome) error {
+// writeTo creates path and streams fn into it.
+func writeTo(path string, fn func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
-	fmt.Fprintln(w, "# id\tsize\tstart_us\tfct_us\tdeadline_us\tdone\tretx\ttimeouts")
-	for _, fl := range flows {
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
-			fl.ID, fl.Size, fl.Start.Microseconds(), fl.FCT.Microseconds(),
-			fl.Deadline.Microseconds(), fl.Done, fl.Retx, fl.Timeouts)
+	if err := fn(w); err != nil {
+		f.Close()
+		return err
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFlowOutcomes dumps per-flow outcomes as TSV.
+func writeFlowOutcomes(path string, flows []pase.FlowOutcome) error {
+	return writeTo(path, func(w io.Writer) error {
+		fmt.Fprintln(w, "# id\tsize\tstart_us\tfct_us\tdeadline_us\tdone\tretx\ttimeouts")
+		for _, fl := range flows {
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
+				fl.ID, fl.Size, fl.Start.Microseconds(), fl.FCT.Microseconds(),
+				fl.Deadline.Microseconds(), fl.Done, fl.Retx, fl.Timeouts)
+		}
+		return nil
+	})
 }

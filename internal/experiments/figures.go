@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"pase/internal/metrics"
+	"pase/internal/obs"
 	"pase/internal/sim"
 )
 
@@ -27,6 +28,14 @@ type Opts struct {
 	// are reassembled in input order, so the produced Series are
 	// identical at every setting.
 	Parallelism int
+	// Obs attaches an observability Registry to every point; the
+	// merged Snapshot lands in Result.Obs (merged in input order, so
+	// it is byte-identical at every Parallelism setting).
+	Obs bool
+	// Progress, when set, is called after each simulation point
+	// completes, possibly from a worker goroutine — it must be safe
+	// for concurrent use.
+	Progress func(done, total int)
 }
 
 func (o Opts) seeds() int {
@@ -58,6 +67,15 @@ type Result struct {
 	YLabel string
 	Series []Series
 	Notes  []string
+
+	// Points is how many simulation points produced the figure.
+	Points int
+	// Retx / Timeouts total the retransmission churn across points.
+	Retx     int64
+	Timeouts int64
+	// Obs is the deterministically merged observability snapshot of
+	// every point (nil unless Opts.Obs).
+	Obs *obs.Snapshot
 }
 
 // Figure is a registered experiment.
@@ -87,8 +105,9 @@ func paseVariant(name string, s Scenario, opts PASEOptions) variant {
 
 // sweep runs each variant across the loads and extracts one metric,
 // averaging over o.seeds() runs per point. The whole
-// (variant × load × seed) grid fans out over the point pool.
-func sweep(vs []variant, loads []float64, o Opts, metric func(PointResult) float64) []Series {
+// (variant × load × seed) grid fans out over the point pool. The
+// returned extras carry the grid's merged observability.
+func sweep(vs []variant, loads []float64, o Opts, metric func(PointResult) float64) ([]Series, *pointExtras) {
 	seeds := o.seeds()
 	cfgs := make([]PointConfig, 0, len(vs)*len(loads)*seeds)
 	for _, v := range vs {
@@ -100,7 +119,7 @@ func sweep(vs []variant, loads []float64, o Opts, metric func(PointResult) float
 			}
 		}
 	}
-	ys := mapPoints(cfgs, o.Parallelism, metric)
+	ys, ex := mapPoints(cfgs, o, metric)
 	out := make([]Series, len(vs))
 	idx := 0
 	for i, v := range vs {
@@ -116,16 +135,29 @@ func sweep(vs []variant, loads []float64, o Opts, metric func(PointResult) float
 		}
 		out[i] = s
 	}
-	return out
+	return out, ex
+}
+
+// sweepResult assembles the common figure shape from a sweep.
+func sweepResult(id, title, xlabel, ylabel string, vs []variant, loads []float64, o Opts, metric func(PointResult) float64) *Result {
+	series, ex := sweep(vs, loads, o, metric)
+	res := &Result{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel, Series: series}
+	ex.fill(res)
+	return res
 }
 
 // cdfSeries runs each variant at one load and returns FCT CDFs.
-func cdfSeries(vs []variant, load float64, o Opts) []Series {
+func cdfSeries(vs []variant, load float64, o Opts) ([]Series, *pointExtras) {
 	cfgs := make([]PointConfig, len(vs))
 	for i, v := range vs {
 		cfgs[i] = v.cfg(load, o)
 	}
-	rs := RunPoints(cfgs, o.Parallelism)
+	ex := newPointExtras(len(cfgs))
+	rs := make([]PointResult, len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
+		rs[i] = r
+		ex.observe(i, r)
+	})
 	out := make([]Series, len(vs))
 	for i, v := range vs {
 		s := Series{Name: v.name}
@@ -135,7 +167,7 @@ func cdfSeries(vs []variant, load float64, o Opts) []Series {
 		}
 		out[i] = s
 	}
-	return out
+	return out, ex
 }
 
 func afctMS(r PointResult) float64      { return r.Summary.AFCT.Millis() }
@@ -178,84 +210,69 @@ func Lookup(id string) (Figure, bool) {
 
 func fig1(o Opts) *Result {
 	vs := []variant{proto(PFabric, Deadline), proto(D2TCP, Deadline), proto(DCTCP, Deadline)}
-	return &Result{
-		ID: "1", Title: "Application throughput (deadline workload)",
-		XLabel: "Offered load (%)", YLabel: "Fraction of deadlines met",
-		Series: sweep(vs, o.loads(DefaultLoads), o, appTput),
-	}
+	return sweepResult("1", "Application throughput (deadline workload)",
+		"Offered load (%)", "Fraction of deadlines met", vs, o.loads(DefaultLoads), o, appTput)
 }
 
 func fig2(o Opts) *Result {
 	vs := []variant{proto(PDQ, IntraRackLarge), proto(DCTCP, IntraRackLarge)}
-	return &Result{
-		ID: "2", Title: "AFCT: PDQ vs DCTCP (intra-rack all-to-all)",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
-	}
+	return sweepResult("2", "AFCT: PDQ vs DCTCP (intra-rack all-to-all)",
+		"Offered load (%)", "AFCT (ms)", vs, o.loads(DefaultLoads), o, afctMS)
 }
 
 func fig4(o Opts) *Result {
 	vs := []variant{proto(PFabric, WorkerAgg)}
 	loads := o.loads(append(append([]float64{}, DefaultLoads...), 0.95))
-	return &Result{
-		ID: "4", Title: "pFabric loss rate",
-		XLabel: "Offered load (%)", YLabel: "Loss rate (%)",
-		Series: sweep(vs, loads, o, lossRatePct),
-	}
+	return sweepResult("4", "pFabric loss rate",
+		"Offered load (%)", "Loss rate (%)", vs, loads, o, lossRatePct)
 }
 
 func fig9a(o Opts) *Result {
 	vs := []variant{proto(PASE, LeftRight), proto(L2DCT, LeftRight), proto(DCTCP, LeftRight)}
-	return &Result{
-		ID: "9a", Title: "AFCT (left-right inter-rack)",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
-	}
+	return sweepResult("9a", "AFCT (left-right inter-rack)",
+		"Offered load (%)", "AFCT (ms)", vs, o.loads(DefaultLoads), o, afctMS)
 }
 
 func fig9b(o Opts) *Result {
 	vs := []variant{proto(PASE, LeftRight), proto(L2DCT, LeftRight), proto(DCTCP, LeftRight)}
-	return &Result{
+	series, ex := cdfSeries(vs, 0.7, o)
+	res := &Result{
 		ID: "9b", Title: "FCT CDF at 70% load (left-right)",
 		XLabel: "FCT (ms)", YLabel: "Fraction of flows",
-		Series: cdfSeries(vs, 0.7, o),
+		Series: series,
 	}
+	ex.fill(res)
+	return res
 }
 
 func fig9c(o Opts) *Result {
 	vs := []variant{proto(PASE, Deadline), proto(D2TCP, Deadline), proto(DCTCP, Deadline)}
-	return &Result{
-		ID: "9c", Title: "Application throughput (deadline workload)",
-		XLabel: "Offered load (%)", YLabel: "Fraction of deadlines met",
-		Series: sweep(vs, o.loads(DefaultLoads), o, appTput),
-	}
+	return sweepResult("9c", "Application throughput (deadline workload)",
+		"Offered load (%)", "Fraction of deadlines met", vs, o.loads(DefaultLoads), o, appTput)
 }
 
 func fig10a(o Opts) *Result {
 	vs := []variant{proto(PASE, LeftRight), proto(PFabric, LeftRight)}
-	return &Result{
-		ID: "10a", Title: "99th percentile FCT (left-right)",
-		XLabel: "Offered load (%)", YLabel: "99th-pct FCT (ms)",
-		Series: sweep(vs, o.loads(DefaultLoads), o, p99MS),
-	}
+	return sweepResult("10a", "99th percentile FCT (left-right)",
+		"Offered load (%)", "99th-pct FCT (ms)", vs, o.loads(DefaultLoads), o, p99MS)
 }
 
 func fig10b(o Opts) *Result {
 	vs := []variant{proto(PASE, LeftRight), proto(PFabric, LeftRight)}
-	return &Result{
+	series, ex := cdfSeries(vs, 0.7, o)
+	res := &Result{
 		ID: "10b", Title: "FCT CDF at 70% load (left-right)",
 		XLabel: "FCT (ms)", YLabel: "Fraction of flows",
-		Series: cdfSeries(vs, 0.7, o),
+		Series: series,
 	}
+	ex.fill(res)
+	return res
 }
 
 func fig10c(o Opts) *Result {
 	vs := []variant{proto(PASE, WorkerAgg), proto(PFabric, WorkerAgg)}
-	res := &Result{
-		ID: "10c", Title: "AFCT (all-to-all intra-rack)",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
-	}
+	res := sweepResult("10c", "AFCT (all-to-all intra-rack)",
+		"Offered load (%)", "AFCT (ms)", vs, o.loads(DefaultLoads), o, afctMS)
 	// The paper annotates per-load % improvement of PASE over pFabric.
 	var imp []string
 	for i := range res.Series[0].X {
@@ -288,8 +305,10 @@ func fig11(o Opts, afct bool) *Result {
 	}
 	type sample struct{ afct, msgs float64 }
 	samples := make([]sample, len(cfgs))
-	forEachPoint(cfgs, o.Parallelism, func(i int, r PointResult) {
+	ex := newPointExtras(len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
 		samples[i] = sample{float64(r.Summary.AFCT), float64(r.CtrlMessages)}
+		ex.observe(i, r)
 	})
 	var xs, ys []float64
 	idx := 0
@@ -321,11 +340,13 @@ func fig11(o Opts, afct bool) *Result {
 	if !afct {
 		id, ylabel = "11b", "Overhead reduction (%)"
 	}
-	return &Result{
+	res := &Result{
 		ID: id, Title: "Early pruning + delegation (left-right)",
 		XLabel: "Offered load (%)", YLabel: ylabel,
 		Series: []Series{{Name: "optimizations", X: xs, Y: ys}},
 	}
+	ex.fill(res)
+	return res
 }
 
 func fig12a(o Opts) *Result {
@@ -351,7 +372,7 @@ func fig12a(o Opts) *Result {
 			}
 		}
 	}
-	ys := mapPoints(cfgs, o.Parallelism, afctMS)
+	ys, ex := mapPoints(cfgs, o, afctMS)
 	series := make([]Series, len(arms))
 	idx := 0
 	for i, arm := range arms {
@@ -367,12 +388,14 @@ func fig12a(o Opts) *Result {
 		}
 		series[i] = s
 	}
-	return &Result{
+	res := &Result{
 		ID: "12a", Title: "End-to-end vs local-only arbitration (left-right)",
 		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
 		Series: series,
 		Notes:  []string{fmt.Sprintf("each point averages %d seeds", seeds)},
 	}
+	ex.fill(res)
+	return res
 }
 
 func fig12b(o Opts) *Result {
@@ -380,11 +403,8 @@ func fig12b(o Opts) *Result {
 	for _, q := range []int{3, 4, 6, 8} {
 		vs = append(vs, paseVariant(fmt.Sprintf("%d Queues", q), LeftRight, PASEOptions{NumQueues: q}))
 	}
-	return &Result{
-		ID: "12b", Title: "AFCT vs number of priority queues (left-right)",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
-	}
+	return sweepResult("12b", "AFCT vs number of priority queues (left-right)",
+		"Offered load (%)", "AFCT (ms)", vs, o.loads(DefaultLoads), o, afctMS)
 }
 
 func fig13a(o Opts) *Result {
@@ -392,20 +412,14 @@ func fig13a(o Opts) *Result {
 		paseVariant("PASE", IntraRackLarge, PASEOptions{}),
 		paseVariant("PASE-DCTCP", IntraRackLarge, PASEOptions{DisableRefRate: true}),
 	}
-	return &Result{
-		ID: "13a", Title: "Reference rate ablation (intra-rack, U[100,500] KB)",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
-	}
+	return sweepResult("13a", "Reference rate ablation (intra-rack, U[100,500] KB)",
+		"Offered load (%)", "AFCT (ms)", vs, o.loads(DefaultLoads), o, afctMS)
 }
 
 func fig13b(o Opts) *Result {
 	vs := []variant{proto(PASE, Testbed), proto(DCTCP, Testbed)}
-	return &Result{
-		ID: "13b", Title: "Testbed (simulated): PASE vs DCTCP",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, o.loads(DefaultLoads), o, afctMS),
-	}
+	return sweepResult("13b", "Testbed (simulated): PASE vs DCTCP",
+		"Offered load (%)", "AFCT (ms)", vs, o.loads(DefaultLoads), o, afctMS)
 }
 
 func figProbing(o Opts) *Result {
@@ -414,11 +428,8 @@ func figProbing(o Opts) *Result {
 		paseVariant("probing off", WorkerAgg, PASEOptions{DisableProbing: true}),
 	}
 	loads := o.loads([]float64{0.8, 0.9})
-	return &Result{
-		ID: "probing", Title: "Probing ablation (intra-rack all-to-all)",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, loads, o, afctMS),
-	}
+	return sweepResult("probing", "Probing ablation (intra-rack all-to-all)",
+		"Offered load (%)", "AFCT (ms)", vs, loads, o, afctMS)
 }
 
 // Render formats a Result as aligned text columns, one row per X value.
@@ -499,9 +510,11 @@ func figTask(o Opts) *Result {
 		inversions int
 	}
 	samples := make([]sample, len(cfgs))
-	forEachPoint(cfgs, o.Parallelism, func(i int, r PointResult) {
+	ex := newPointExtras(len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
 		tasks := metrics.Tasks(r.Records)
 		samples[i] = sample{metrics.MeanTCT(tasks).Millis(), metrics.TaskOrderInversions(tasks)}
+		ex.observe(i, r)
 	})
 	mk := func(arm int) (Series, []int) {
 		s := Series{Name: arms[arm].name}
@@ -515,7 +528,7 @@ func figTask(o Opts) *Result {
 	}
 	bySize, invSize := mk(0)
 	byTask, invTask := mk(1)
-	return &Result{
+	res := &Result{
 		ID: "task", Title: "Task-aware vs size-based arbitration (worker-aggregator)",
 		XLabel: "Offered load (%)", YLabel: "Mean task completion time (ms)",
 		Series: []Series{byTask, bySize},
@@ -524,6 +537,8 @@ func figTask(o Opts) *Result {
 			fmt.Sprintf("task-order inversions, size-based: %v", invSize),
 		},
 	}
+	ex.fill(res)
+	return res
 }
 
 // WriteTSV dumps the figure as tab-separated columns (one X column,
@@ -572,6 +587,12 @@ func (r *Result) WriteTSV(w io.Writer) error {
 			return err
 		}
 	}
+	if r.Points > 0 {
+		if _, err := fmt.Fprintf(w, "# totals: points=%d retx=%d timeouts=%d\n",
+			r.Points, r.Retx, r.Timeouts); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -580,11 +601,8 @@ func (r *Result) WriteTSV(w io.Writer) error {
 // control plane arbitrates exactly the links the flow's hash selects.
 func figLeafSpine(o Opts) *Result {
 	vs := []variant{proto(PASE, LeafSpine), proto(DCTCP, LeafSpine), proto(PFabric, LeafSpine)}
-	return &Result{
-		ID: "leafspine", Title: "Leaf-spine fabric with per-flow ECMP (extension)",
-		XLabel: "Offered load (%)", YLabel: "AFCT (ms)",
-		Series: sweep(vs, o.loads([]float64{0.2, 0.4, 0.6, 0.8}), o, afctMS),
-	}
+	return sweepResult("leafspine", "Leaf-spine fabric with per-flow ECMP (extension)",
+		"Offered load (%)", "AFCT (ms)", vs, o.loads([]float64{0.2, 0.4, 0.6, 0.8}), o, afctMS)
 }
 
 // fig3 is the toy example of Figure 3: three flows, two links.

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime/debug"
+	"time"
+
+	"pase/internal/obs"
+)
+
+// Manifest is the JSON record emitted alongside a figure's TSV: the
+// parameters, seeds, code revision, wall-clock cost and merged
+// observability snapshot of one run — enough to reproduce it and to
+// diff two runs counter by counter.
+type Manifest struct {
+	Tool      string `json:"tool"`
+	Figure    string `json:"figure,omitempty"`
+	Title     string `json:"title,omitempty"`
+	GitRev    string `json:"git_rev,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	// Started is the wall-clock start in RFC 3339; WallClockMS is the
+	// run's real-time cost.
+	Started     string  `json:"started,omitempty"`
+	WallClockMS float64 `json:"wall_clock_ms"`
+
+	Params ManifestParams `json:"params"`
+
+	// Points / Retx / Timeouts summarize the grid.
+	Points   int   `json:"points"`
+	Retx     int64 `json:"retx"`
+	Timeouts int64 `json:"timeouts"`
+
+	// Snapshot is the deterministically merged observability of every
+	// simulation point (input-order merge; identical bytes at every
+	// parallelism setting).
+	Snapshot *obs.Snapshot `json:"snapshot,omitempty"`
+}
+
+// ManifestParams is the serializable subset of Opts.
+type ManifestParams struct {
+	NumFlows    int       `json:"num_flows,omitempty"`
+	Seed        uint64    `json:"seed"`
+	Seeds       int       `json:"seeds,omitempty"`
+	Loads       []float64 `json:"loads,omitempty"`
+	Parallelism int       `json:"parallelism,omitempty"`
+}
+
+// GitRev returns the VCS revision baked into the binary by the Go
+// toolchain ("" outside a VCS build). A "+dirty" suffix marks
+// uncommitted changes.
+func GitRev() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	return rev + modified
+}
+
+// NewManifest assembles the manifest for one figure run.
+func NewManifest(tool string, res *Result, o Opts, started time.Time, wall time.Duration) *Manifest {
+	m := &Manifest{
+		Tool:        tool,
+		GitRev:      GitRev(),
+		Started:     started.UTC().Format(time.RFC3339),
+		WallClockMS: float64(wall) / float64(time.Millisecond),
+		Params: ManifestParams{
+			NumFlows:    o.NumFlows,
+			Seed:        o.Seed,
+			Seeds:       o.Seeds,
+			Loads:       o.Loads,
+			Parallelism: o.Parallelism,
+		},
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.GoVersion = bi.GoVersion
+	}
+	if res != nil {
+		m.Figure = res.ID
+		m.Title = res.Title
+		m.Points = res.Points
+		m.Retx = res.Retx
+		m.Timeouts = res.Timeouts
+		m.Snapshot = res.Obs
+	}
+	return m
+}
+
+// Write emits the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

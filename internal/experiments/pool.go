@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pase/internal/obs"
 )
 
 // Every simulation point is hermetic: RunPoint builds its own
@@ -15,10 +17,25 @@ import (
 
 // forEachPoint runs fn(i, RunPoint(cfgs[i])) for every config across a
 // bounded worker pool. fn is called concurrently from the workers but
-// never twice for the same index. parallelism <= 0 means GOMAXPROCS
-// workers; 1 runs everything inline with no goroutines.
-func forEachPoint(cfgs []PointConfig, parallelism int, fn func(i int, r PointResult)) {
-	workers := parallelism
+// never twice for the same index. o.Parallelism <= 0 means GOMAXPROCS
+// workers; 1 runs everything inline with no goroutines. o.Obs turns on
+// observability for every point; o.Progress (if set) is called after
+// each point completes, possibly from a worker goroutine.
+func forEachPoint(cfgs []PointConfig, o Opts, fn func(i int, r PointResult)) {
+	if o.Obs {
+		for i := range cfgs {
+			cfgs[i].Obs = true
+		}
+	}
+	var done atomic.Int64
+	total := len(cfgs)
+	run := func(i int) {
+		fn(i, RunPoint(cfgs[i]))
+		if o.Progress != nil {
+			o.Progress(int(done.Add(1)), total)
+		}
+	}
+	workers := o.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -26,8 +43,8 @@ func forEachPoint(cfgs []PointConfig, parallelism int, fn func(i int, r PointRes
 		workers = len(cfgs)
 	}
 	if workers <= 1 {
-		for i, cfg := range cfgs {
-			fn(i, RunPoint(cfg))
+		for i := range cfgs {
+			run(i)
 		}
 		return
 	}
@@ -42,7 +59,7 @@ func forEachPoint(cfgs []PointConfig, parallelism int, fn func(i int, r PointRes
 				if i >= len(cfgs) {
 					return
 				}
-				fn(i, RunPoint(cfgs[i]))
+				run(i)
 			}
 		}()
 	}
@@ -52,17 +69,64 @@ func forEachPoint(cfgs []PointConfig, parallelism int, fn func(i int, r PointRes
 // RunPoints executes every config across the pool and returns the
 // results in input order.
 func RunPoints(cfgs []PointConfig, parallelism int) []PointResult {
+	return RunPointsOpts(cfgs, Opts{Parallelism: parallelism})
+}
+
+// RunPointsOpts is RunPoints with full Opts control — parallelism,
+// observability and a progress callback.
+func RunPointsOpts(cfgs []PointConfig, o Opts) []PointResult {
 	out := make([]PointResult, len(cfgs))
-	forEachPoint(cfgs, parallelism, func(i int, r PointResult) { out[i] = r })
+	forEachPoint(cfgs, o, func(i int, r PointResult) { out[i] = r })
 	return out
+}
+
+// pointExtras collects the cross-point observability of one pool run:
+// per-point snapshots (merged in input order afterwards, so the result
+// is independent of scheduling) and the retransmission totals every
+// figure reports. Workers write disjoint indices; no locking needed.
+type pointExtras struct {
+	snaps    []*obs.Snapshot
+	retx     []int64
+	timeouts []int64
+}
+
+func newPointExtras(n int) *pointExtras {
+	return &pointExtras{
+		snaps:    make([]*obs.Snapshot, n),
+		retx:     make([]int64, n),
+		timeouts: make([]int64, n),
+	}
+}
+
+// observe records point i's contribution. Safe to call concurrently
+// for distinct i.
+func (e *pointExtras) observe(i int, r PointResult) {
+	e.snaps[i] = r.Obs
+	e.retx[i] = r.Summary.Retx
+	e.timeouts[i] = r.Summary.Timeouts
+}
+
+// fill merges the collected extras into the figure result.
+func (e *pointExtras) fill(res *Result) {
+	res.Obs = obs.MergeAll(e.snaps)
+	res.Points = len(e.snaps)
+	for i := range e.snaps {
+		res.Retx += e.retx[i]
+		res.Timeouts += e.timeouts[i]
+	}
 }
 
 // mapPoints is RunPoints for callers that only keep one scalar per
 // point: the metric is applied inside the worker, so the full
 // per-point Records/CDF payloads are released as soon as each point
-// finishes instead of being retained for the whole grid.
-func mapPoints(cfgs []PointConfig, parallelism int, metric func(PointResult) float64) []float64 {
+// finishes instead of being retained for the whole grid. The returned
+// extras carry each point's snapshot and retransmission totals.
+func mapPoints(cfgs []PointConfig, o Opts, metric func(PointResult) float64) ([]float64, *pointExtras) {
 	out := make([]float64, len(cfgs))
-	forEachPoint(cfgs, parallelism, func(i int, r PointResult) { out[i] = metric(r) })
-	return out
+	ex := newPointExtras(len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
+		out[i] = metric(r)
+		ex.observe(i, r)
+	})
+	return out, ex
 }

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -52,6 +55,61 @@ func TestParallelDeterminismAblation11a(t *testing.T) {
 	figSerialVsParallel(t, "11a", Opts{NumFlows: 60, Seed: 5, Loads: []float64{0.7}})
 }
 
+// The run manifests promise that the merged observability snapshot is
+// parallelism-invariant: byte-identical JSON (the manifest encoding)
+// at any worker count. Snapshots are merged in input order, so this
+// holds despite non-deterministic completion order.
+func snapshotSerialVsParallel(t *testing.T, id string, o Opts) {
+	t.Helper()
+	fig, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("figure %s missing", id)
+	}
+	o.Obs = true
+	so := o
+	so.Parallelism = 1
+	po := o
+	po.Parallelism = 8
+	var calls atomic.Int64
+	po.Progress = func(done, total int) { calls.Add(1) }
+	serial := fig.Run(so)
+	parallel := fig.Run(po)
+	if serial.Obs == nil || len(serial.Obs.Counters) == 0 {
+		t.Fatalf("figure %s: Obs run produced no snapshot", id)
+	}
+	if serial.Points == 0 || serial.Points != parallel.Points {
+		t.Fatalf("figure %s: points serial=%d parallel=%d", id, serial.Points, parallel.Points)
+	}
+	if int(calls.Load()) != parallel.Points {
+		t.Fatalf("figure %s: progress called %d times for %d points", id, calls.Load(), parallel.Points)
+	}
+	sj, err := json.Marshal(serial.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(parallel.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("figure %s: merged snapshots diverge\nserial:   %s\nparallel: %s", id, sj, pj)
+	}
+	if serial.Retx != parallel.Retx || serial.Timeouts != parallel.Timeouts {
+		t.Fatalf("figure %s: totals diverge: retx %d/%d timeouts %d/%d",
+			id, serial.Retx, parallel.Retx, serial.Timeouts, parallel.Timeouts)
+	}
+}
+
+// Figure 9a: the plain sweep path (sweepResult).
+func TestSnapshotDeterminismFig9a(t *testing.T) {
+	snapshotSerialVsParallel(t, "9a", Opts{NumFlows: 80, Seed: 5, Loads: []float64{0.7}})
+}
+
+// Figure 12a: the ablation path with hand-built point grids.
+func TestSnapshotDeterminismAblation12a(t *testing.T) {
+	snapshotSerialVsParallel(t, "12a", Opts{NumFlows: 60, Seed: 5, Loads: []float64{0.7}})
+}
+
 func TestRunPointsOrderAndCompleteness(t *testing.T) {
 	// Results come back in input order regardless of which worker
 	// finishes first; heterogenous configs keep them distinguishable.
@@ -99,7 +157,7 @@ func TestMapPointsMatchesRunPoints(t *testing.T) {
 		{Protocol: PASE, Scenario: IntraRack, Load: 0.6, Seed: 2, NumFlows: 50},
 	}
 	full := RunPoints(cfgs, 1)
-	ys := mapPoints(cfgs, 4, afctMS)
+	ys, _ := mapPoints(cfgs, Opts{Parallelism: 4}, afctMS)
 	for i := range cfgs {
 		if ys[i] != afctMS(full[i]) {
 			t.Fatalf("point %d: mapPoints %v vs RunPoints %v", i, ys[i], afctMS(full[i]))

@@ -7,9 +7,11 @@ import (
 	"pase/internal/core/arbitration"
 	"pase/internal/metrics"
 	"pase/internal/netem"
+	"pase/internal/obs"
 	"pase/internal/pkt"
 	"pase/internal/sim"
 	"pase/internal/topology"
+	"pase/internal/trace"
 	"pase/internal/transport"
 	"pase/internal/transport/d2tcp"
 	"pase/internal/transport/dctcp"
@@ -75,6 +77,18 @@ type PASEOptions struct {
 	TaskAware bool
 }
 
+// TraceConfig selects optional per-point tracing.
+type TraceConfig struct {
+	// FlowLog records flow start/done/abort events.
+	FlowLog bool
+	// QueueSample, when positive, samples every queue's occupancy at
+	// this interval.
+	QueueSample sim.Duration
+}
+
+// Enabled reports whether any tracing is requested.
+func (t TraceConfig) Enabled() bool { return t.FlowLog || t.QueueSample > 0 }
+
 // PointConfig is one (protocol, scenario, load) simulation.
 type PointConfig struct {
 	Protocol Protocol
@@ -84,6 +98,11 @@ type PointConfig struct {
 	// NumFlows is the number of foreground flows (0 = 2000).
 	NumFlows int
 	PASE     PASEOptions
+	// Obs attaches an observability Registry to the run and returns
+	// its Snapshot in the result.
+	Obs bool
+	// Trace selects flow-event and queue-occupancy tracing.
+	Trace TraceConfig
 }
 
 // PointResult is what one simulation yields.
@@ -99,6 +118,12 @@ type PointResult struct {
 	Queues       netem.QueueStats
 	// Records holds the per-flow outcomes of the run.
 	Records []metrics.FlowRecord
+	// Obs is the run's observability snapshot (nil unless
+	// PointConfig.Obs was set).
+	Obs *obs.Snapshot
+	// FlowEvents / QueueSamples hold the optional traces.
+	FlowEvents   []trace.FlowEvent
+	QueueSamples []trace.QueueSample
 }
 
 // scenarioSpec bundles what a scenario needs.
@@ -198,13 +223,32 @@ func scenario(s Scenario) scenarioSpec {
 	panic(fmt.Sprintf("experiments: unknown scenario %q", s))
 }
 
-// queueFactory picks the switch discipline the protocol assumes.
-func queueFactory(p Protocol, sp scenarioSpec, numQueues int) func(topology.QueueKind) netem.Queue {
+// occOf returns the shared occupancy histogram for a queue role: every
+// host NIC feeds one instrument, every switch port another. A nil
+// registry yields nil (uninstrumented) histograms.
+func occOf(reg *obs.Registry, kind topology.QueueKind) *obs.Histogram {
+	if kind == topology.QueueHostNIC {
+		return reg.Histogram("queue/hostnic/occ")
+	}
+	return reg.Histogram("queue/switch/occ")
+}
+
+// queueFactory picks the switch discipline the protocol assumes; reg
+// (which may be nil) attaches occupancy instruments to every queue.
+func queueFactory(p Protocol, sp scenarioSpec, numQueues int, reg *obs.Registry) func(topology.QueueKind) netem.Queue {
 	switch p {
 	case PFabric:
-		return func(topology.QueueKind) netem.Queue { return netem.NewPFabric(PFabricQueueSize) }
+		return func(kind topology.QueueKind) netem.Queue {
+			q := netem.NewPFabric(PFabricQueueSize)
+			q.Occ = occOf(reg, kind)
+			return q
+		}
 	case PDQ:
-		return func(topology.QueueKind) netem.Queue { return netem.NewDropTail(PDQQueueSize) }
+		return func(kind topology.QueueKind) netem.Queue {
+			q := netem.NewDropTail(PDQQueueSize)
+			q.Occ = occOf(reg, kind)
+			return q
+		}
 	case PASE:
 		// Simulation: one 500-packet buffer per port shared by the
 		// priority classes, with push-out (Table 3). Testbed: the
@@ -216,13 +260,25 @@ func queueFactory(p Protocol, sp scenarioSpec, numQueues int) func(topology.Queu
 			limit = sp.qSize
 			perBand = true
 		}
+		var occBand []*obs.Histogram
+		if reg != nil {
+			occBand = make([]*obs.Histogram, numQueues)
+			for b := range occBand {
+				occBand[b] = reg.Histogram(fmt.Sprintf("queue/prio/band%d/occ", b))
+			}
+		}
 		return func(topology.QueueKind) netem.Queue {
 			q := netem.NewPrio(numQueues, limit, sp.markK)
 			q.PerBand = perBand
+			q.OccBand = occBand
 			return q
 		}
 	default: // the DCTCP family
-		return func(topology.QueueKind) netem.Queue { return netem.NewREDECN(sp.qSize, sp.markK) }
+		return func(kind topology.QueueKind) netem.Queue {
+			q := netem.NewREDECN(sp.qSize, sp.markK)
+			q.Occ = occOf(reg, kind)
+			return q
+		}
 	}
 }
 
@@ -238,16 +294,22 @@ func RunPoint(cfg PointConfig) PointResult {
 		numQueues = PASENumQueues
 	}
 
+	var reg *obs.Registry
+	if cfg.Obs {
+		reg = obs.NewRegistry()
+	}
 	eng := sim.NewEngine()
+	eng.Instrument(reg)
 	var net *topology.Network
 	if sp.buildLS != nil {
 		ls := *sp.buildLS
-		ls.NewQueue = queueFactory(cfg.Protocol, sp, numQueues)
+		ls.NewQueue = queueFactory(cfg.Protocol, sp, numQueues, reg)
 		net = topology.BuildLeafSpine(eng, ls)
 	} else {
-		net = topology.Build(eng, sp.topo(queueFactory(cfg.Protocol, sp, numQueues)))
+		net = topology.Build(eng, sp.topo(queueFactory(cfg.Protocol, sp, numQueues, reg)))
 	}
 	d := transport.NewDriver(net, nil)
+	d.Instrument(reg)
 
 	var pdqSys *pdq.System
 	var paseSys *arbitration.System
@@ -294,6 +356,39 @@ func RunPoint(cfg PointConfig) PointResult {
 		panic(fmt.Sprintf("experiments: unknown protocol %q", cfg.Protocol))
 	}
 
+	// Tracing hooks chain after protocol attach: PDQ and PASE claim
+	// OnFlowDone above, and the flow log must observe those runs too.
+	var flog *trace.FlowLog
+	var sampler *trace.Sampler
+	if cfg.Trace.FlowLog {
+		flog = &trace.FlowLog{}
+		d.OnFlowStart = func(s *transport.Sender) {
+			flog.Add(trace.FlowEvent{
+				At: eng.Now(), Kind: "start",
+				Flow: s.Spec.ID, Src: s.Spec.Src, Dst: s.Spec.Dst, Size: s.Spec.Size,
+			})
+		}
+		prevDone := d.OnFlowDone
+		d.OnFlowDone = func(s *transport.Sender) {
+			e := trace.FlowEvent{
+				At: eng.Now(), Kind: "done",
+				Flow: s.Spec.ID, Src: s.Spec.Src, Dst: s.Spec.Dst, Size: s.Spec.Size,
+			}
+			if s.Aborted {
+				e.Kind = "abort"
+			} else {
+				e.FCT = s.FinishTime.Sub(s.Spec.Start)
+			}
+			flog.Add(e)
+			if prevDone != nil {
+				prevDone(s)
+			}
+		}
+	}
+	if cfg.Trace.QueueSample > 0 {
+		sampler = trace.NewSampler(eng, cfg.Trace.QueueSample, trace.AllPorts(net))
+	}
+
 	spec := workload.Spec{
 		Pattern:         sp.pattern(net),
 		Sizes:           sp.sizes,
@@ -335,5 +430,55 @@ func RunPoint(cfg PointConfig) PointResult {
 	if paseSys != nil {
 		res.CtrlMessages = paseSys.Stats.Messages
 	}
+	if flog != nil {
+		res.FlowEvents = flog.Events()
+	}
+	if sampler != nil {
+		sampler.Stop()
+		res.QueueSamples = sampler.Samples()
+	}
+	if reg != nil {
+		scrapeRun(reg, eng, net, summary, paseSys, pdqSys)
+		res.Obs = reg.Snapshot()
+	}
 	return res
+}
+
+// scrapeRun folds the simulator's passive end-of-run counters — queue
+// stats, link transmit/busy totals, control-plane stats — into the
+// registry next to the live-instrumented streams, so one Snapshot
+// carries the whole run.
+func scrapeRun(reg *obs.Registry, eng *sim.Engine, net *topology.Network,
+	summary metrics.Summary, paseSys *arbitration.System, pdqSys *pdq.System) {
+	reg.Counter("run/points").Inc()
+	reg.Counter("sim/elapsed_ns").Add(int64(eng.Now()))
+	reg.Counter("flows/total").Add(int64(summary.Flows))
+	reg.Counter("flows/completed").Add(int64(summary.Completed))
+	for _, l := range net.Links {
+		dir := "down"
+		if l.Up {
+			dir = "up"
+		}
+		prefix := "net/" + l.Level.String() + "/" + dir + "/"
+		s := l.Port.Queue().Stats()
+		reg.Counter(prefix + "links").Inc()
+		reg.Counter(prefix+"enq").Add(s.Enqueued)
+		reg.Counter(prefix+"drop").Add(s.Dropped)
+		reg.Counter(prefix+"drop_bytes").Add(s.DroppedBytes)
+		reg.Counter(prefix+"mark").Add(s.Marked)
+		reg.Counter(prefix+"tx_pkts").Add(l.Port.TxPackets)
+		reg.Counter(prefix+"tx_bytes").Add(l.Port.TxBytes)
+		reg.Counter(prefix+"busy_ns").Add(int64(l.Port.BusyTime()))
+	}
+	if paseSys != nil {
+		reg.Counter("arb/messages").Add(paseSys.Stats.Messages)
+		reg.Counter("arb/bytes").Add(paseSys.Stats.Bytes)
+		reg.Counter("arb/setups").Add(paseSys.Stats.Setups)
+		reg.Counter("arb/refreshes").Add(paseSys.Stats.Refreshes)
+		reg.Counter("arb/releases").Add(paseSys.Stats.Releases)
+		reg.Counter("arb/pruned").Add(paseSys.Stats.Pruned)
+	}
+	if pdqSys != nil {
+		reg.Counter("pdq/sync_messages").Add(pdqSys.SyncMessages)
+	}
 }

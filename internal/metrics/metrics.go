@@ -125,8 +125,8 @@ func (c *Collector) Summarize() Summary {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("flows=%d done=%d afct=%.3fms p99=%.3fms appTput=%.3f ctrlMsgs=%d",
-		s.Flows, s.Completed, s.AFCT.Millis(), s.P99.Millis(), s.AppThroughput, s.CtrlMessages)
+	return fmt.Sprintf("flows=%d done=%d afct=%.3fms p99=%.3fms appTput=%.3f retx=%d timeouts=%d ctrlMsgs=%d",
+		s.Flows, s.Completed, s.AFCT.Millis(), s.P99.Millis(), s.AppThroughput, s.Retx, s.Timeouts, s.CtrlMessages)
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of a sorted

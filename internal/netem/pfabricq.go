@@ -1,6 +1,9 @@
 package netem
 
-import "pase/internal/pkt"
+import (
+	"pase/internal/obs"
+	"pase/internal/pkt"
+)
 
 // PFabric is the pFabric switch queue: a single small shared buffer
 // with priority dropping and priority scheduling on the fine-grained
@@ -19,6 +22,8 @@ import "pase/internal/pkt"
 // pFabric hardware does the same comparisons in parallel.
 type PFabric struct {
 	Limit int
+	// Occ, when set, records post-enqueue occupancy (packets).
+	Occ   *obs.Histogram
 	q     []*pkt.Packet
 	bytes int64
 	stats QueueStats
@@ -49,6 +54,7 @@ func (f *PFabric) Enqueue(p *pkt.Packet) bool {
 	f.bytes += int64(p.Size)
 	f.stats.accept(p)
 	f.stats.noteLen(len(f.q))
+	f.Occ.Observe(int64(len(f.q)))
 	return true
 }
 

@@ -1,6 +1,9 @@
 package netem
 
-import "pase/internal/pkt"
+import (
+	"pase/internal/obs"
+	"pase/internal/pkt"
+)
 
 // Prio is the commodity-switch discipline PASE relies on: a small,
 // fixed number of strict-priority bands (classes) in front of one
@@ -28,6 +31,10 @@ type Prio struct {
 	// sharing one buffer — the Linux PRIO/CBQ arrangement of the
 	// paper's testbed, where each class has an independent qdisc.
 	PerBand bool
+	// OccBand, when set, records per-band post-enqueue occupancy
+	// (packets); entry b observes band b. A short or nil slice leaves
+	// the remaining bands uninstrumented.
+	OccBand []*obs.Histogram
 
 	bands []fifo
 	total int
@@ -80,6 +87,9 @@ func (q *Prio) Enqueue(p *pkt.Packet) bool {
 	q.bytes += int64(p.Size)
 	q.stats.accept(p)
 	q.stats.noteLen(q.total)
+	if b < len(q.OccBand) {
+		q.OccBand[b].Observe(int64(q.bands[b].len()))
+	}
 	return true
 }
 

@@ -1,6 +1,9 @@
 package netem
 
-import "pase/internal/pkt"
+import (
+	"pase/internal/obs"
+	"pase/internal/pkt"
+)
 
 // Queue is an egress queueing discipline. Enqueue either accepts the
 // packet or drops it (possibly dropping a different, lower-priority
@@ -119,6 +122,9 @@ func (f *fifo) grow() {
 // DropTail is a plain FIFO queue with a fixed packet-count limit.
 type DropTail struct {
 	Limit int
+	// Occ, when set, records post-enqueue occupancy (packets). A nil
+	// histogram is a no-op; queues of one kind may share one instrument.
+	Occ   *obs.Histogram
 	q     fifo
 	stats QueueStats
 }
@@ -137,6 +143,7 @@ func (d *DropTail) Enqueue(p *pkt.Packet) bool {
 	d.q.push(p)
 	d.stats.accept(p)
 	d.stats.noteLen(d.q.len())
+	d.Occ.Observe(int64(d.q.len()))
 	return true
 }
 
@@ -161,6 +168,8 @@ func (d *DropTail) Stats() *QueueStats { return &d.stats }
 type REDECN struct {
 	Limit int
 	K     int
+	// Occ, when set, records post-enqueue occupancy (packets).
+	Occ   *obs.Histogram
 	q     fifo
 	stats QueueStats
 }
@@ -184,6 +193,7 @@ func (r *REDECN) Enqueue(p *pkt.Packet) bool {
 	r.q.push(p)
 	r.stats.accept(p)
 	r.stats.noteLen(r.q.len())
+	r.Occ.Observe(int64(r.q.len()))
 	return true
 }
 

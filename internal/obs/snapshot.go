@@ -1,0 +1,134 @@
+package obs
+
+// Snapshot is the frozen, mergeable image of a Registry: what one
+// simulation point contributes to a figure's run manifest. All values
+// are int64 and every merge operation is commutative and associative
+// (sum, min, max), so merging a set of snapshots yields identical
+// bytes regardless of worker scheduling; the experiment pool still
+// merges in input order as the documented contract.
+//
+// encoding/json sorts map keys, so marshaling a Snapshot is
+// deterministic given equal contents.
+type Snapshot struct {
+	// Counters maps instrument name -> total.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges maps instrument name -> high-watermark.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms maps instrument name -> distribution.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the frozen image of one Histogram. Buckets are
+// log2: Buckets[0] counts values <= 0 and Buckets[i] counts values in
+// [2^(i-1), 2^i). Trailing zero buckets are trimmed.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. Returns nil on a nil
+// Registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.max
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+			last := -1
+			for i, n := range h.buckets {
+				if n != 0 {
+					last = i
+				}
+			}
+			if last >= 0 {
+				hs.Buckets = append([]int64(nil), h.buckets[:last+1]...)
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Merge folds src into dst and returns dst. Either side may be nil:
+// Merge(nil, s) returns an independent copy of s, Merge(d, nil)
+// returns d unchanged. Counters and histogram buckets add; gauges and
+// histogram maxima take the max, minima the min.
+func Merge(dst, src *Snapshot) *Snapshot {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		dst = &Snapshot{}
+	}
+	if len(src.Counters) > 0 && dst.Counters == nil {
+		dst.Counters = make(map[string]int64, len(src.Counters))
+	}
+	for name, v := range src.Counters {
+		dst.Counters[name] += v
+	}
+	if len(src.Gauges) > 0 && dst.Gauges == nil {
+		dst.Gauges = make(map[string]int64, len(src.Gauges))
+	}
+	for name, v := range src.Gauges {
+		if cur, ok := dst.Gauges[name]; !ok || v > cur {
+			dst.Gauges[name] = v
+		}
+	}
+	if len(src.Histograms) > 0 && dst.Histograms == nil {
+		dst.Histograms = make(map[string]HistogramSnapshot, len(src.Histograms))
+	}
+	for name, sh := range src.Histograms {
+		dh, ok := dst.Histograms[name]
+		if !ok {
+			dh = HistogramSnapshot{Min: sh.Min, Max: sh.Max}
+		}
+		if sh.Count > 0 {
+			if dh.Count == 0 || sh.Min < dh.Min {
+				dh.Min = sh.Min
+			}
+			if dh.Count == 0 || sh.Max > dh.Max {
+				dh.Max = sh.Max
+			}
+		}
+		dh.Count += sh.Count
+		dh.Sum += sh.Sum
+		if len(sh.Buckets) > len(dh.Buckets) {
+			nb := make([]int64, len(sh.Buckets))
+			copy(nb, dh.Buckets)
+			dh.Buckets = nb
+		}
+		for i, n := range sh.Buckets {
+			dh.Buckets[i] += n
+		}
+		dst.Histograms[name] = dh
+	}
+	return dst
+}
+
+// MergeAll merges a slice of snapshots in input order. Nil entries are
+// skipped; an empty or all-nil input yields nil.
+func MergeAll(snaps []*Snapshot) *Snapshot {
+	var out *Snapshot
+	for _, s := range snaps {
+		out = Merge(out, s)
+	}
+	return out
+}

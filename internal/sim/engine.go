@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"pase/internal/obs"
+)
 
 // Engine is the discrete-event simulation core. It owns the virtual
 // clock and the pending-event calendar. All model components schedule
@@ -27,6 +31,27 @@ type Engine struct {
 	// Limit, when non-zero, aborts Run with an error after that many
 	// events. It protects against accidental infinite event loops.
 	Limit uint64
+
+	// Observability instruments, nil until Instrument is called. All
+	// are nil-safe no-ops, so the hot path carries them unconditionally.
+	obsFired   *obs.Counter
+	obsSched   *obs.Counter
+	obsStopped *obs.Counter
+	obsHeap    *obs.Gauge
+}
+
+// Instrument attaches run-wide observability to the engine. Passing a
+// nil registry detaches it (the default state). The recorded streams:
+//
+//	sim/events_fired      events dispatched by Step
+//	sim/events_scheduled  events added by At/Schedule
+//	sim/timers_stopped    successful Timer.Stop cancellations
+//	sim/heap_depth        calendar depth high-watermark (incl. dead)
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.obsFired = reg.Counter("sim/events_fired")
+	e.obsSched = reg.Counter("sim/events_scheduled")
+	e.obsStopped = reg.Counter("sim/timers_stopped")
+	e.obsHeap = reg.Gauge("sim/heap_depth")
 }
 
 // maxFree bounds the free list so a burst of scheduling does not pin
@@ -82,6 +107,7 @@ func (t Timer) Stop() bool {
 	ev.stopped = true
 	ev.fn = nil // release the closure immediately
 	e := ev.eng
+	e.obsStopped.Inc()
 	e.dead++
 	if e.dead > compactMinDead && e.dead > len(e.events)-e.dead {
 		e.compact()
@@ -119,6 +145,8 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	ev.seq = e.seq
 	ev.fn = fn
 	e.events.push(ev)
+	e.obsSched.Inc()
+	e.obsHeap.Update(int64(len(e.events)))
 	return Timer{ev: ev, gen: ev.gen, at: t}
 }
 
@@ -169,6 +197,7 @@ func (e *Engine) Step() bool {
 	e.events.popTop()
 	e.now = ev.at
 	e.Executed++
+	e.obsFired.Inc()
 	fn := ev.fn
 	e.recycle(ev)
 	fn()

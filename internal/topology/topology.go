@@ -38,6 +38,8 @@ func (l Level) String() string {
 		return "tor-agg"
 	case LevelAggCore:
 		return "agg-core"
+	case LevelToRSpine:
+		return "tor-spine"
 	}
 	return fmt.Sprintf("Level(%d)", int(l))
 }

@@ -39,11 +39,14 @@ func (l *FlowLog) Add(e FlowEvent) { l.events = append(l.events, e) }
 func (l *FlowLog) Events() []FlowEvent { return l.events }
 
 // WriteTSV dumps the log with a header row.
-func (l *FlowLog) WriteTSV(w io.Writer) error {
+func (l *FlowLog) WriteTSV(w io.Writer) error { return WriteFlowEvents(w, l.events) }
+
+// WriteFlowEvents dumps a flow-event slice with a header row.
+func WriteFlowEvents(w io.Writer, events []FlowEvent) error {
 	if _, err := fmt.Fprintln(w, "# time_us\tkind\tflow\tsrc\tdst\tsize\tfct_us"); err != nil {
 		return err
 	}
-	for _, e := range l.events {
+	for _, e := range events {
 		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%d\t%d\n",
 			int64(e.At)/1000, e.Kind, e.Flow, e.Src, e.Dst, e.Size, int64(e.FCT)/1000); err != nil {
 			return err
@@ -96,6 +99,9 @@ func AllPorts(n *topology.Network) []*netem.Port {
 	if n.Core != nil {
 		out = append(out, n.Core.Ports()...)
 	}
+	for _, sw := range n.Spines {
+		out = append(out, sw.Ports()...)
+	}
 	return out
 }
 
@@ -136,11 +142,14 @@ func (s *Sampler) MaxLenByPort() map[string]int {
 }
 
 // WriteTSV dumps the samples with a header row.
-func (s *Sampler) WriteTSV(w io.Writer) error {
+func (s *Sampler) WriteTSV(w io.Writer) error { return WriteQueueSamples(w, s.samples) }
+
+// WriteQueueSamples dumps a queue-sample slice with a header row.
+func WriteQueueSamples(w io.Writer, samples []QueueSample) error {
 	if _, err := fmt.Fprintln(w, "# time_us\tport\tqlen\tqbytes"); err != nil {
 		return err
 	}
-	for _, sm := range s.samples {
+	for _, sm := range samples {
 		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%d\n",
 			int64(sm.At)/1000, sm.Port, sm.Len, sm.Bytes); err != nil {
 			return err

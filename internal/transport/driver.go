@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pase/internal/metrics"
+	"pase/internal/obs"
 	"pase/internal/pkt"
 	"pase/internal/sim"
 	"pase/internal/topology"
@@ -22,9 +23,31 @@ type Driver struct {
 	// OnFlowDone, when set, is called after any flow completes
 	// (protocol integrations use it to release arbitration state).
 	OnFlowDone func(s *Sender)
+	// OnFlowStart, when set, is called right after a scheduled flow's
+	// sender starts transmitting (tracing hooks observe arrivals here).
+	OnFlowStart func(s *Sender)
 
 	remaining int
 	started   []*Sender
+}
+
+// Instrument attaches run-wide observability to every stack. The
+// recorded streams:
+//
+//	transport/retx          retransmitted data segments
+//	transport/timeouts      RTO firings
+//	transport/probes        PASE loss-discrimination probes sent
+//	transport/rate_updates  pacing-rate changes (SetRate calls)
+func (d *Driver) Instrument(reg *obs.Registry) {
+	o := stackObs{
+		retx:        reg.Counter("transport/retx"),
+		timeouts:    reg.Counter("transport/timeouts"),
+		probes:      reg.Counter("transport/probes"),
+		rateUpdates: reg.Counter("transport/rate_updates"),
+	}
+	for _, st := range d.Stacks {
+		st.obs = o
+	}
 }
 
 // NewDriver builds stacks on every host of the fabric.
@@ -71,6 +94,9 @@ func (d *Driver) Schedule(flows []workload.FlowSpec) {
 		d.Eng.At(f.Start, func() {
 			s := d.Stack(f.Src).StartFlow(f)
 			d.started = append(d.started, s)
+			if d.OnFlowStart != nil {
+				d.OnFlowStart(s)
+			}
 		})
 	}
 }

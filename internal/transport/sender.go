@@ -197,6 +197,7 @@ func (s *Sender) transmit(seq int32) {
 	if resend {
 		s.Retx++
 		s.retransmitted[seq] = true
+		s.st.obs.retx.Inc()
 	}
 	s.st.Host.Send(p)
 }
@@ -240,6 +241,7 @@ func (s *Sender) pump() {
 // paced flow immediately.
 func (s *Sender) SetRate(r netem.BitRate) {
 	s.Rate = r
+	s.st.obs.rateUpdates.Inc()
 	if r > 0 {
 		s.pump()
 	}
@@ -281,6 +283,7 @@ func (s *Sender) SendProbe(seq int32) {
 		SentAt: s.Now(),
 	}
 	s.ctrl.FillData(s, p)
+	s.st.obs.probes.Inc()
 	s.st.Host.Send(p)
 }
 
@@ -417,6 +420,7 @@ func (s *Sender) onTimeout() {
 		return
 	}
 	s.Timeouts++
+	s.st.obs.timeouts.Inc()
 	if s.backoff < maxRTOBackoff {
 		s.backoff++
 	}

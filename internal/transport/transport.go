@@ -16,6 +16,7 @@ import (
 
 	"pase/internal/metrics"
 	"pase/internal/netem"
+	"pase/internal/obs"
 	"pase/internal/pkt"
 	"pase/internal/sim"
 	"pase/internal/workload"
@@ -74,6 +75,17 @@ type Stack struct {
 	senders   map[pkt.FlowID]*Sender
 	receivers map[pkt.FlowID]*receiver
 	pktID     uint64
+	obs       stackObs
+}
+
+// stackObs holds the transport-layer observability instruments. The
+// zero value (all nil) is the disabled state; every increment through
+// a nil instrument is a no-op, so senders record unconditionally.
+type stackObs struct {
+	retx        *obs.Counter
+	timeouts    *obs.Counter
+	probes      *obs.Counter
+	rateUpdates *obs.Counter
 }
 
 // NewStack wires a Stack onto a host and installs its packet handler.

@@ -45,7 +45,29 @@ import (
 	"time"
 
 	"pase/internal/experiments"
+	"pase/internal/obs"
+	"pase/internal/sim"
+	"pase/internal/trace"
 )
+
+// Snapshot is a run's merged observability image: counters, gauge
+// high-watermarks and log2 histograms keyed by instrument name. It is
+// produced per simulation point and merged deterministically, so the
+// JSON form is byte-identical regardless of parallelism.
+type Snapshot = obs.Snapshot
+
+// MergeSnapshots folds snapshots together in input order (counters and
+// histogram buckets add; gauges take the max). Nil entries are skipped.
+func MergeSnapshots(snaps []*Snapshot) *Snapshot { return obs.MergeAll(snaps) }
+
+// Manifest is the JSON run record written alongside figure output:
+// parameters, seeds, git revision, wall-clock cost and the merged
+// Snapshot.
+type Manifest = experiments.Manifest
+
+// GitRev returns the VCS revision baked into the binary ("" outside a
+// VCS build); uncommitted changes add a "+dirty" suffix.
+func GitRev() string { return experiments.GitRev() }
 
 // Protocol selects a transport implementation.
 type Protocol string
@@ -135,6 +157,21 @@ type SimConfig struct {
 	Seed uint64
 	// IncludeFlowLog populates Report.FlowLog with per-flow outcomes.
 	IncludeFlowLog bool
+	// Obs collects an observability Snapshot (Report.Obs): engine,
+	// queue, arbitration and transport counters plus occupancy
+	// histograms. Off by default — the hot path then costs only nil
+	// checks.
+	Obs bool
+	// FlowTrace records flow lifecycle events (start/done/abort) into
+	// the report; write them with Report.WriteFlowTrace.
+	FlowTrace bool
+	// QueueTrace > 0 samples every port's queue occupancy at this
+	// interval; write the samples with Report.WriteQueueTrace.
+	QueueTrace time.Duration
+	// Progress, if set, is called by SimulateSeeds after each seed's
+	// run completes with (done, total). It may be invoked concurrently
+	// from worker goroutines.
+	Progress func(done, total int)
 	// PASE ablation switches (PASE protocol only).
 	PASE PASEOptions
 }
@@ -174,6 +211,30 @@ type Report struct {
 	// FlowLog holds per-flow outcomes when SimConfig.IncludeFlowLog
 	// is set.
 	FlowLog []FlowOutcome
+
+	// Obs is the run's observability snapshot (nil unless
+	// SimConfig.Obs).
+	Obs *Snapshot
+
+	flowEvents   []trace.FlowEvent
+	queueSamples []trace.QueueSample
+}
+
+// FlowTraceLen and QueueTraceLen report how much trace data the run
+// recorded (zero unless the matching SimConfig switch was set).
+func (r *Report) FlowTraceLen() int  { return len(r.flowEvents) }
+func (r *Report) QueueTraceLen() int { return len(r.queueSamples) }
+
+// WriteFlowTrace emits the flow lifecycle events as TSV
+// (time_us, kind, flow, src, dst, size, fct_us).
+func (r *Report) WriteFlowTrace(w io.Writer) error {
+	return trace.WriteFlowEvents(w, r.flowEvents)
+}
+
+// WriteQueueTrace emits the sampled queue occupancies as TSV
+// (time_us, port, qlen, qbytes).
+func (r *Report) WriteQueueTrace(w io.Writer) error {
+	return trace.WriteQueueSamples(w, r.queueSamples)
 }
 
 // FlowOutcome is the per-flow record of a run.
@@ -216,6 +277,11 @@ func pointConfig(cfg SimConfig) experiments.PointConfig {
 		Load:     cfg.Load,
 		Seed:     cfg.Seed,
 		NumFlows: cfg.NumFlows,
+		Obs:      cfg.Obs,
+		Trace: experiments.TraceConfig{
+			FlowLog:     cfg.FlowTrace,
+			QueueSample: sim.Duration(cfg.QueueTrace),
+		},
 		PASE: experiments.PASEOptions{
 			LocalOnly:      cfg.PASE.LocalOnly,
 			NoPruning:      cfg.PASE.NoPruning,
@@ -259,7 +325,9 @@ func SimulateSeeds(cfg SimConfig, seeds, parallelism int) ([]*Report, error) {
 		cfgs[i] = pointConfig(c)
 	}
 	reps := make([]*Report, seeds)
-	for i, r := range experiments.RunPoints(cfgs, parallelism) {
+	res := experiments.RunPointsOpts(cfgs, experiments.Opts{
+		Parallelism: parallelism, Progress: cfg.Progress})
+	for i, r := range res {
 		reps[i] = report(r, cfg.IncludeFlowLog)
 	}
 	return reps, nil
@@ -279,6 +347,9 @@ func report(r experiments.PointResult, includeFlowLog bool) *Report {
 		CtrlMessages:  r.CtrlMessages,
 		Retransmits:   r.Summary.Retx,
 		Timeouts:      r.Summary.Timeouts,
+		Obs:           r.Obs,
+		flowEvents:    r.FlowEvents,
+		queueSamples:  r.QueueSamples,
 	}
 	for _, p := range r.CDF {
 		rep.CDF = append(rep.CDF, CDFPoint{FCT: p.Value.Std(), Fraction: p.Fraction})
@@ -342,6 +413,22 @@ type FigureOpts struct {
 	// figure produced is identical at any setting — parallelism only
 	// changes wall-clock time.
 	Parallelism int
+	// Obs collects an observability snapshot per simulation point and
+	// merges them into FigureData.Snapshot (and the run Manifest). The
+	// merge happens in input order, so the result is identical at any
+	// Parallelism.
+	Obs bool
+	// Progress, if set, is called after each simulation point with the
+	// number of points done and the total. It may be invoked
+	// concurrently from worker goroutines; the callback must be safe
+	// for that.
+	Progress func(done, total int)
+}
+
+// expOpts maps the public options onto the experiment runner's.
+func expOpts(o FigureOpts) experiments.Opts {
+	return experiments.Opts{NumFlows: o.NumFlows, Seed: o.Seed, Seeds: o.Seeds,
+		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Progress: o.Progress}
 }
 
 // FigureSeries is one curve of a regenerated figure.
@@ -360,6 +447,13 @@ type FigureData struct {
 	Series []FigureSeries
 	Notes  []string
 
+	// Points counts the simulation points behind the figure; Retx and
+	// Timeouts total their retransmission activity. All zero for the
+	// analytic figures that run no simulations.
+	Points   int
+	Retx     int64
+	Timeouts int64
+
 	raw *experiments.Result
 }
 
@@ -368,6 +462,10 @@ func (f *FigureData) Render() string { return f.raw.Render() }
 
 // WriteTSV writes the figure as tab-separated values for plotting.
 func (f *FigureData) WriteTSV(w io.Writer) error { return f.raw.WriteTSV(w) }
+
+// Snapshot returns the merged observability snapshot of every
+// simulation point (nil unless FigureOpts.Obs was set).
+func (f *FigureData) Snapshot() *Snapshot { return f.raw.Obs }
 
 // FigureInfo describes one reproducible experiment.
 type FigureInfo struct {
@@ -391,16 +489,43 @@ func RunFigure(id string, opts FigureOpts) (*FigureData, error) {
 	if !ok {
 		return nil, fmt.Errorf("pase: unknown figure %q (see ListFigures)", id)
 	}
-	res := fig.Run(experiments.Opts{NumFlows: opts.NumFlows, Seed: opts.Seed, Seeds: opts.Seeds,
-		Loads: opts.Loads, Parallelism: opts.Parallelism})
+	res := fig.Run(expOpts(opts))
 	out := &FigureData{
 		ID: res.ID, Title: res.Title,
 		XLabel: res.XLabel, YLabel: res.YLabel,
-		Notes: res.Notes,
-		raw:   res,
+		Notes:  res.Notes,
+		Points: res.Points, Retx: res.Retx, Timeouts: res.Timeouts,
+		raw: res,
 	}
 	for _, s := range res.Series {
 		out.Series = append(out.Series, FigureSeries{Name: s.Name, X: s.X, Y: s.Y})
 	}
 	return out, nil
+}
+
+// NewRunManifest assembles the reproducibility manifest for a figure
+// run: parameters, git revision, wall-clock cost and the merged
+// observability snapshot. Write it next to the figure's TSV.
+func NewRunManifest(tool string, fig *FigureData, opts FigureOpts, started time.Time, wall time.Duration) *Manifest {
+	return experiments.NewManifest(tool, fig.raw, expOpts(opts), started, wall)
+}
+
+// NewSimManifest assembles the run manifest for one or more Simulate /
+// SimulateSeeds reports of the same configuration: run parameters,
+// merged snapshot and retransmission totals.
+func NewSimManifest(tool string, cfg SimConfig, reps []*Report, parallelism int, started time.Time, wall time.Duration) *Manifest {
+	m := experiments.NewManifest(tool, nil, experiments.Opts{
+		NumFlows: cfg.NumFlows, Seed: cfg.Seed, Seeds: len(reps),
+		Loads: []float64{cfg.Load}, Parallelism: parallelism,
+	}, started, wall)
+	m.Title = fmt.Sprintf("%s / %s @ load %g", cfg.Protocol, cfg.Scenario, cfg.Load)
+	snaps := make([]*Snapshot, len(reps))
+	for i, r := range reps {
+		snaps[i] = r.Obs
+		m.Retx += r.Retransmits
+		m.Timeouts += r.Timeouts
+	}
+	m.Points = len(reps)
+	m.Snapshot = MergeSnapshots(snaps)
+	return m
 }
