@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-smoke bench obs-bench manifest-sample snapshot ci
+.PHONY: build vet test race check-test fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,27 @@ test:
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
 
+# The full test suite with the runtime invariant checker force-enabled:
+# every simulation any test runs is verified against the packet
+# conservation / queue ordering / arbitration feasibility / FCT-bound
+# invariants, and the first violation fails the run loudly.
+check-test:
+	PASE_CHECK=1 $(GO) test ./...
+
+# Each fuzz target gets a short budget over its committed seed corpus
+# (testdata/fuzz/) — a CI-sized smoke that still explores beyond the
+# seeds. -fuzz accepts one target per invocation, hence four runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPrioQueue$$' -fuzztime 10s ./internal/netem/
+	$(GO) test -run '^$$' -fuzz '^FuzzPfabricQueue$$' -fuzztime 10s ./internal/netem/
+	$(GO) test -run '^$$' -fuzz '^FuzzArbitrator$$' -fuzztime 10s ./internal/core/arbitration/
+	$(GO) test -run '^$$' -fuzz '^FuzzEmpiricalCDF$$' -fuzztime 10s ./internal/workload/
+
 # One-iteration figure regenerations: catches perf cliffs and keeps
 # the bench harness compiling without paying full bench time. The
-# Fig09a pattern also covers BenchmarkFig09aObsOverhead, so the
-# instrumented path is exercised too.
+# Fig09a pattern also covers BenchmarkFig09aObsOverhead and
+# BenchmarkFig09aCheckOverhead, so the instrumented and checked paths
+# are exercised too.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFig03|BenchmarkFig09a|BenchmarkFig10a' -benchtime 1x -run '^$$' .
 	$(GO) test -bench . -benchtime 1000x -run '^$$' ./internal/sim/ ./internal/netem/
@@ -44,4 +61,4 @@ manifest-sample:
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race bench-smoke obs-bench
+ci: vet build test race check-test fuzz-smoke bench-smoke obs-bench

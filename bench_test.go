@@ -88,6 +88,26 @@ func BenchmarkFig09aObsOverhead(b *testing.B) {
 	b.ReportMetric(float64(snap.Counters["sim/events_fired"]), "events_fired")
 }
 
+// BenchmarkFig09aCheckOverhead is BenchmarkFig09aLeftRightAFCT with
+// the runtime invariant checker enabled; the delta between the two is
+// the checking cost when explicitly requested. With the checker off,
+// the hot paths pay only nil-pointer tests (budget: ≤2%, same as obs).
+func BenchmarkFig09aCheckOverhead(b *testing.B) {
+	var fig *pase.FigureData
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = pase.RunFigure("9a", pase.FigureOpts{
+			NumFlows: 250, Seed: 1, Loads: []float64{0.5, 0.8}, Check: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fig.Violations != 0 {
+		b.Fatalf("checker found %d violations", fig.Violations)
+	}
+	b.ReportMetric(float64(fig.Points), "points_checked")
+}
+
 func BenchmarkFig09bLeftRightCDF(b *testing.B) {
 	benchFigure(b, "9b", 250, nil)
 }

@@ -41,6 +41,7 @@ func main() {
 		out      = flag.String("out", "", "write each figure's TSV and manifest into this directory (default: manifest only, working directory)")
 		parallel = flag.Int("parallel", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial; output is identical at any setting)")
 		obs      = flag.Bool("obs", true, "collect per-run observability and write fig<id>.manifest.json")
+		chkFlag  = flag.Bool("check", false, "run every point with the runtime invariant checker; exit 1 on any violation")
 		progress = flag.Bool("progress", true, "live progress meter on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -55,7 +56,7 @@ func main() {
 	}
 
 	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds,
-		Parallelism: *parallel, Obs: *obs}
+		Parallelism: *parallel, Obs: *obs, Check: *chkFlag}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
@@ -105,6 +106,13 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		if *chkFlag {
+			if fig.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "paper: fig %s: %d invariant violations\n", id, fig.Violations)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "paper: fig %s: invariant checker clean (%d points)\n", id, fig.Points)
+		}
 		fmt.Println(fig.Render())
 		fmt.Printf("(%d flows/point, seed %d, took %v)\n\n", *flows, *seed, wall.Round(time.Millisecond))
 		base := "fig" + strings.ReplaceAll(id, "/", "_")

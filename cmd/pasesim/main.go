@@ -47,6 +47,7 @@ func main() {
 		queueInt  = flag.Duration("queueinterval", 100*time.Microsecond, "queue sampling interval for -queuetrace")
 		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
 		obs       = flag.Bool("obs", false, "collect run observability and write a manifest (see -manifest)")
+		chkFlag   = flag.Bool("check", false, "run with the runtime invariant checker; exit 1 on any violation")
 		manifest  = flag.String("manifest", "", "manifest output path (implies -obs; default pasesim.manifest.json when -obs is set)")
 		progress  = flag.Bool("progress", true, "live progress meter on stderr for multi-seed runs")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -69,6 +70,7 @@ func main() {
 		NumFlows:       *flows,
 		Seed:           *seed,
 		Obs:            *obs,
+		Check:          *chkFlag,
 		FlowTrace:      *flowLog != "",
 		PASE: pase.PASEOptions{
 			LocalOnly:      *localOnly,
@@ -128,6 +130,23 @@ func main() {
 			}
 			fmt.Printf("flow outcomes   %s (%d flows)\n", *outcomes, len(rep.FlowLog))
 		}
+	}
+
+	if *chkFlag {
+		var total int64
+		var details []string
+		for _, r := range reps {
+			total += r.Violations
+			details = append(details, r.ViolationDetails...)
+		}
+		if total > 0 {
+			fmt.Fprintf(os.Stderr, "pasesim: %d invariant violations\n", total)
+			for _, d := range details {
+				fmt.Fprintln(os.Stderr, "  ", d)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("invariants      clean")
 	}
 
 	if *obs {

@@ -1,0 +1,134 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// A nil Checker must be inert: every method is a no-op and every
+// accessor returns a zero value.
+func TestNilCheckerIsInert(t *testing.T) {
+	var c *Checker
+	if c.Enabled() {
+		t.Fatal("nil checker reports enabled")
+	}
+	c.Reportf(InvQueueCap, "q", 1, "boom")
+	c.Conservation("q", 10, 5, 0, 2)
+	c.QueueCap("q", 100, 10)
+	c.StrictPrio("q", 3, 2)
+	c.ECNMark("q", 1, 0, 20)
+	c.ArbAllocation("link0", 100, 50)
+	c.RefRate("link0", 1, -5)
+	c.Monotonic("sim", 10, 5)
+	c.FCTBound("driver", 1, 10, 100)
+	if c.Total() != 0 || c.Violations() != nil || c.ByInvariant() != nil {
+		t.Fatal("nil checker recorded something")
+	}
+	if s := c.Summary(); s != "" {
+		t.Fatalf("nil checker summary = %q", s)
+	}
+}
+
+func TestHelpersFireOnlyOnViolation(t *testing.T) {
+	cases := []struct {
+		name string
+		inv  string
+		ok   func(c *Checker)
+		bad  func(c *Checker)
+	}{
+		{"conservation", InvConservation,
+			func(c *Checker) { c.Conservation("q", 10, 7, 2, 3); c.Conservation("q", 10, 7, 2, 1) },
+			func(c *Checker) { c.Conservation("q", 10, 9, 0, 2) }},
+		{"conservation-lost", InvConservation,
+			func(c *Checker) { c.Conservation("q", 5, 5, 0, 0) },
+			func(c *Checker) { c.Conservation("q", 5, 3, 1, 0) }},
+		{"queue-cap", InvQueueCap,
+			func(c *Checker) { c.QueueCap("q", 10, 10) },
+			func(c *Checker) { c.QueueCap("q", 11, 10) }},
+		{"strict-prio", InvStrictPrio,
+			func(c *Checker) { c.StrictPrio("q", 2, 0) },
+			func(c *Checker) { c.StrictPrio("q", 2, 1) }},
+		{"ecn-mark", InvECNMark,
+			func(c *Checker) { c.ECNMark("q", 1, 20, 20) },
+			func(c *Checker) { c.ECNMark("q", 1, 19, 20) }},
+		{"arb-capacity", InvArbCapacity,
+			func(c *Checker) { c.ArbAllocation("link", 100, 100) },
+			func(c *Checker) { c.ArbAllocation("link", 101, 100) }},
+		{"arb-rate", InvArbRate,
+			func(c *Checker) { c.RefRate("link", 1, 0) },
+			func(c *Checker) { c.RefRate("link", 1, -1) }},
+		{"monotonic", InvMonotonic,
+			func(c *Checker) { c.Monotonic("sim", 5, 5) },
+			func(c *Checker) { c.Monotonic("sim", 5, 4) }},
+		{"fct-bound", InvFCTBound,
+			func(c *Checker) { c.FCTBound("drv", 1, 100, 100) },
+			func(c *Checker) { c.FCTBound("drv", 1, 99, 100) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(nil)
+			tc.ok(c)
+			if c.Total() != 0 {
+				t.Fatalf("clean sequence recorded %d violations: %s", c.Total(), c.Summary())
+			}
+			tc.bad(c)
+			if c.Total() != 1 {
+				t.Fatalf("violation recorded %d times, want 1", c.Total())
+			}
+			if c.ByInvariant()[tc.inv] != 1 {
+				t.Fatalf("violation not attributed to %s: %v", tc.inv, c.ByInvariant())
+			}
+		})
+	}
+}
+
+func TestViolationContext(t *testing.T) {
+	now := int64(42)
+	c := New(func() int64 { return now })
+	c.ECNMark("tor0->h3", 7, 4, 20)
+	vs := c.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("kept %d violations, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Invariant != InvECNMark || v.Time != 42 || v.Where != "tor0->h3" || v.Flow != 7 {
+		t.Fatalf("violation context wrong: %+v", v)
+	}
+	for _, want := range []string{"ecn_mark", "t=42ns", "tor0->h3", "flow=7", "K=20"} {
+		if !strings.Contains(v.String(), want) {
+			t.Fatalf("violation string %q missing %q", v.String(), want)
+		}
+	}
+}
+
+func TestKeptIsBoundedButTotalIsNot(t *testing.T) {
+	c := New(nil)
+	for i := 0; i < maxKept+50; i++ {
+		c.QueueCap("q", 11, 10)
+	}
+	if c.Total() != int64(maxKept+50) {
+		t.Fatalf("total = %d, want %d", c.Total(), maxKept+50)
+	}
+	if len(c.Violations()) != maxKept {
+		t.Fatalf("kept = %d, want %d", len(c.Violations()), maxKept)
+	}
+	if !strings.Contains(c.Summary(), "and 50 more") {
+		t.Fatalf("summary does not note the overflow: %s", c.Summary())
+	}
+}
+
+func TestStrictPanics(t *testing.T) {
+	c := NewStrict(func() int64 { return 9 })
+	c.QueueCap("q", 10, 10) // clean: no panic
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("strict checker did not panic on violation")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "queue_cap") || !strings.Contains(msg, "t=9ns") {
+			t.Fatalf("panic message lacks context: %v", r)
+		}
+	}()
+	c.QueueCap("q", 11, 10)
+}

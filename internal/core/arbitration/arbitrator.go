@@ -7,8 +7,10 @@
 package arbitration
 
 import (
+	"fmt"
 	"sort"
 
+	"pase/internal/check"
 	"pase/internal/netem"
 	"pase/internal/pkt"
 	"pase/internal/sim"
@@ -60,6 +62,9 @@ type Arbitrator struct {
 	sorted  []*entry // re-sorted each epoch
 	epoch   sim.Time // when the current allocation pass happened
 	period  sim.Duration
+
+	chk      *check.Checker
+	chkLabel string
 }
 
 // NewArbitrator builds an arbitrator for a link of the given capacity.
@@ -79,6 +84,17 @@ func NewArbitrator(linkID int, capacity netem.BitRate, numQueues int, baseRate n
 		clock:     clock,
 		entries:   make(map[pkt.FlowID]*entry),
 		period:    period,
+	}
+}
+
+// AttachCheck installs a runtime invariant checker: every allocation
+// pass is verified against Algorithm 1's feasibility conditions
+// (top-queue rates sum to at most the link capacity, no negative
+// reference rate, queue indices in range). Nil detaches (the default).
+func (a *Arbitrator) AttachCheck(c *check.Checker) {
+	a.chk = c
+	if c.Enabled() {
+		a.chkLabel = fmt.Sprintf("arb/link%d", a.LinkID)
 	}
 }
 
@@ -184,6 +200,29 @@ func (a *Arbitrator) maybeRecompute(now sim.Time) {
 		e.decision = a.decide(adh, e.demand)
 		adh += e.demand
 	}
+	if a.chk != nil {
+		a.checkAllocation()
+	}
+}
+
+// checkAllocation verifies the freshly computed pass against the
+// feasibility conditions: top-queue reference rates sum to at most the
+// link capacity, every rate is non-negative, and every queue index is
+// within [0, numQueues).
+func (a *Arbitrator) checkAllocation() {
+	var topSum netem.BitRate
+	for _, e := range a.sorted {
+		d := e.decision
+		a.chk.RefRate(a.chkLabel, uint64(e.flow), int64(d.Rref))
+		if d.Queue == 0 {
+			topSum += d.Rref
+		}
+		if d.Queue < 0 || int(d.Queue) >= a.numQueues {
+			a.chk.Reportf(check.InvArbCapacity, a.chkLabel, uint64(e.flow),
+				"queue index %d outside [0,%d)", d.Queue, a.numQueues)
+		}
+	}
+	a.chk.ArbAllocation(a.chkLabel, int64(topSum), int64(a.capacity))
 }
 
 // decide evaluates Algorithm 1 for a flow with the given aggregate

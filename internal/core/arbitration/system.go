@@ -1,6 +1,7 @@
 package arbitration
 
 import (
+	"pase/internal/check"
 	"pase/internal/netem"
 	"pase/internal/pkt"
 	"pase/internal/sim"
@@ -200,6 +201,18 @@ func (sys *System) scheduleShareRefresh() {
 func (sys *System) countMessages(n int64) {
 	sys.Stats.Messages += n
 	sys.Stats.Bytes += n * pkt.CtrlSize
+}
+
+// AttachCheck installs a runtime invariant checker on every
+// arbitrator of the system — physical links and delegated virtual
+// slices alike. Nil detaches (the default).
+func (sys *System) AttachCheck(c *check.Checker) {
+	for _, a := range sys.arbs {
+		a.AttachCheck(c)
+	}
+	for _, va := range sys.virt {
+		va.AttachCheck(c)
+	}
 }
 
 // Arbitrator exposes the per-link arbitrator (tests, inspection).

@@ -32,6 +32,11 @@ type Opts struct {
 	// merged Snapshot lands in Result.Obs (merged in input order, so
 	// it is byte-identical at every Parallelism setting).
 	Obs bool
+	// Check runs every point with the runtime invariant checker
+	// attached; Result.Violations totals the breaches across the grid
+	// (and the merged Obs snapshot, when Obs is also set, carries the
+	// per-invariant split under check/violations/*).
+	Check bool
 	// Progress, when set, is called after each simulation point
 	// completes, possibly from a worker goroutine — it must be safe
 	// for concurrent use.
@@ -76,6 +81,9 @@ type Result struct {
 	// Obs is the deterministically merged observability snapshot of
 	// every point (nil unless Opts.Obs).
 	Obs *obs.Snapshot
+	// Violations totals invariant breaches across every point (always
+	// 0 unless Opts.Check or PASE_CHECK enabled the checker).
+	Violations int64
 }
 
 // Figure is a registered experiment.

@@ -22,9 +22,10 @@ import (
 // observability for every point; o.Progress (if set) is called after
 // each point completes, possibly from a worker goroutine.
 func forEachPoint(cfgs []PointConfig, o Opts, fn func(i int, r PointResult)) {
-	if o.Obs {
+	if o.Obs || o.Check {
 		for i := range cfgs {
-			cfgs[i].Obs = true
+			cfgs[i].Obs = cfgs[i].Obs || o.Obs
+			cfgs[i].Check = cfgs[i].Check || o.Check
 		}
 	}
 	var done atomic.Int64
@@ -85,16 +86,18 @@ func RunPointsOpts(cfgs []PointConfig, o Opts) []PointResult {
 // is independent of scheduling) and the retransmission totals every
 // figure reports. Workers write disjoint indices; no locking needed.
 type pointExtras struct {
-	snaps    []*obs.Snapshot
-	retx     []int64
-	timeouts []int64
+	snaps      []*obs.Snapshot
+	retx       []int64
+	timeouts   []int64
+	violations []int64
 }
 
 func newPointExtras(n int) *pointExtras {
 	return &pointExtras{
-		snaps:    make([]*obs.Snapshot, n),
-		retx:     make([]int64, n),
-		timeouts: make([]int64, n),
+		snaps:      make([]*obs.Snapshot, n),
+		retx:       make([]int64, n),
+		timeouts:   make([]int64, n),
+		violations: make([]int64, n),
 	}
 }
 
@@ -104,6 +107,7 @@ func (e *pointExtras) observe(i int, r PointResult) {
 	e.snaps[i] = r.Obs
 	e.retx[i] = r.Summary.Retx
 	e.timeouts[i] = r.Summary.Timeouts
+	e.violations[i] = r.Violations
 }
 
 // fill merges the collected extras into the figure result.
@@ -113,6 +117,7 @@ func (e *pointExtras) fill(res *Result) {
 	for i := range e.snaps {
 		res.Retx += e.retx[i]
 		res.Timeouts += e.timeouts[i]
+		res.Violations += e.violations[i]
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"pase/internal/check"
 	"pase/internal/core"
 	"pase/internal/core/arbitration"
 	"pase/internal/metrics"
@@ -101,6 +102,13 @@ type PointConfig struct {
 	// Obs attaches an observability Registry to the run and returns
 	// its Snapshot in the result.
 	Obs bool
+	// Check attaches the runtime invariant checker to the run: queue
+	// conservation/capacity/ordering, ECN marking, arbitration
+	// feasibility, clock monotonicity and FCT lower bounds are all
+	// verified, and violations land in PointResult (plus the obs
+	// snapshot when Obs is also set). The PASE_CHECK environment
+	// variable force-enables this for every run.
+	Check bool
 	// Trace selects flow-event and queue-occupancy tracing.
 	Trace TraceConfig
 }
@@ -121,6 +129,12 @@ type PointResult struct {
 	// Obs is the run's observability snapshot (nil unless
 	// PointConfig.Obs was set).
 	Obs *obs.Snapshot
+	// Violations counts invariant breaches observed by the checker
+	// (always 0 unless PointConfig.Check or PASE_CHECK was set — and 0
+	// then too unless the simulator is broken); CheckViolations holds
+	// the retained details.
+	Violations      int64
+	CheckViolations []check.Violation
 	// FlowEvents / QueueSamples hold the optional traces.
 	FlowEvents   []trace.FlowEvent
 	QueueSamples []trace.QueueSample
@@ -300,6 +314,11 @@ func RunPoint(cfg PointConfig) PointResult {
 	}
 	eng := sim.NewEngine()
 	eng.Instrument(reg)
+	var chk *check.Checker
+	if cfg.Check || check.Forced() {
+		chk = check.New(func() int64 { return int64(eng.Now()) })
+		eng.AttachCheck(chk)
+	}
 	var net *topology.Network
 	if sp.buildLS != nil {
 		ls := *sp.buildLS
@@ -308,8 +327,16 @@ func RunPoint(cfg PointConfig) PointResult {
 	} else {
 		net = topology.Build(eng, sp.topo(queueFactory(cfg.Protocol, sp, numQueues, reg)))
 	}
+	if chk != nil {
+		for _, l := range net.Links {
+			if cq, ok := l.Port.Queue().(netem.Checkable); ok {
+				cq.AttachCheck(l.Port.Name, chk)
+			}
+		}
+	}
 	d := transport.NewDriver(net, nil)
 	d.Instrument(reg)
+	d.AttachCheck(chk)
 
 	var pdqSys *pdq.System
 	var paseSys *arbitration.System
@@ -352,6 +379,9 @@ func RunPoint(cfg PointConfig) PointResult {
 		ec.ReorderGuard = !cfg.PASE.NoReorderGuard
 		ec.TaskAware = cfg.PASE.TaskAware
 		paseSys, _ = core.Attach(d, p, ec)
+		if chk != nil {
+			paseSys.AttachCheck(chk)
+		}
 	default:
 		panic(fmt.Sprintf("experiments: unknown protocol %q", cfg.Protocol))
 	}
@@ -437,11 +467,42 @@ func RunPoint(cfg PointConfig) PointResult {
 		sampler.Stop()
 		res.QueueSamples = sampler.Samples()
 	}
+	if chk != nil {
+		// The fabric is quiet: verify every queue's end-state packet
+		// conservation, then fold the verdict into the result.
+		for _, l := range net.Links {
+			if cq, ok := l.Port.Queue().(netem.Checkable); ok {
+				cq.CheckConservation()
+			}
+		}
+		res.Violations = chk.Total()
+		res.CheckViolations = chk.Violations()
+	}
 	if reg != nil {
 		scrapeRun(reg, eng, net, summary, paseSys, pdqSys)
+		scrapeCheck(reg, chk)
 		res.Obs = reg.Snapshot()
 	}
+	if chk != nil && !cfg.Check && chk.Total() > 0 {
+		// Forced mode (PASE_CHECK) with no caller looking at the
+		// verdict: fail loudly so a whole test pass acts as a tripwire.
+		panic("experiments: PASE_CHECK run failed: " + chk.Summary())
+	}
 	return res
+}
+
+// scrapeCheck folds the checker's verdict into the registry so run
+// manifests carry it: check/violations totals every breach and
+// check/violations/<invariant> splits them by invariant.
+func scrapeCheck(reg *obs.Registry, chk *check.Checker) {
+	if chk == nil {
+		return
+	}
+	reg.Counter("check/enabled").Inc()
+	reg.Counter("check/violations").Add(chk.Total())
+	for inv, n := range chk.ByInvariant() {
+		reg.Counter("check/violations/" + inv).Add(n)
+	}
 }
 
 // scrapeRun folds the simulator's passive end-of-run counters — queue

@@ -1,0 +1,168 @@
+package netem
+
+import (
+	"testing"
+
+	"pase/internal/check"
+	"pase/internal/pkt"
+)
+
+// The fuzz targets drive the queue disciplines with arbitrary
+// enqueue/dequeue sequences under the strict invariant checker (which
+// panics on the first violation) plus a handful of model-independent
+// properties: occupancy bounds, byte accounting against a shadow
+// ledger, and end-state packet conservation. They run continuously
+// under `go test -fuzz` and as plain regression tests over the seed
+// corpus in testdata/fuzz/.
+
+// fuzzClock is a trivial checker clock for data-structure fuzzing —
+// the queues under test never consult simulated time.
+func fuzzClock() int64 { return 0 }
+
+// FuzzPrioQueue exercises the strict-priority discipline across both
+// buffer modes (shared with push-out, per-band) with hostile priority
+// values, ECN mixes and interleaved dequeues.
+func FuzzPrioQueue(f *testing.F) {
+	f.Add([]byte{2, 4, 2, 0, 0x10, 0x81, 0x7f, 0x00, 0xff, 0x12})
+	f.Add([]byte{4, 1, 0, 1, 0xff, 0xfe, 0xfd, 0x80, 0x01, 0x02, 0x03})
+	f.Add([]byte{1, 8, 3, 2, 0x00, 0x40, 0x80, 0xc0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		bands := 1 + int(data[0])%6
+		limit := int(data[1]) % 12
+		k := int(data[2]) % 6
+		mode := data[3]
+		q := NewPrio(bands, limit, k)
+		q.PerBand = mode&1 != 0
+		q.DisablePushOut = mode&2 != 0
+		q.AttachCheck("fuzz/prio", check.NewStrict(fuzzClock))
+
+		var seq int32
+		for _, op := range data[4:] {
+			if op&0x80 != 0 {
+				q.Dequeue()
+				continue
+			}
+			seq++
+			q.Enqueue(&pkt.Packet{
+				Flow: pkt.FlowID(op % 5), Seq: seq, Type: pkt.Data,
+				Prio: int8(op) - 3, // negative and oversized bands included
+				Size: pkt.MTU, ECT: op&0x40 != 0,
+			})
+		}
+		// Occupancy bounds: shared mode bounds the total, per-band mode
+		// each band.
+		if q.PerBand {
+			for b := 0; b < bands; b++ {
+				if q.BandLen(b) > limit {
+					t.Fatalf("band %d holds %d > limit %d", b, q.BandLen(b), limit)
+				}
+			}
+		} else if q.Len() > limit {
+			t.Fatalf("len %d > limit %d", q.Len(), limit)
+		}
+		// Every packet occupies MTU bytes: byte and packet accounting
+		// must agree with each other and with the per-band sums.
+		total := 0
+		for b := 0; b < bands; b++ {
+			total += q.BandLen(b)
+		}
+		if total != q.Len() {
+			t.Fatalf("band sum %d != Len %d", total, q.Len())
+		}
+		if q.Bytes() != int64(total)*pkt.MTU {
+			t.Fatalf("Bytes() = %d, want %d", q.Bytes(), int64(total)*pkt.MTU)
+		}
+		q.CheckConservation()
+
+		// Draining must yield exactly Len packets (the attached strict
+		// checker verifies band order on every dequeue).
+		for n := q.Len(); n > 0; n-- {
+			if q.Dequeue() == nil {
+				t.Fatal("Dequeue returned nil with packets queued")
+			}
+		}
+		if q.Dequeue() != nil {
+			t.Fatal("drained queue still yields packets")
+		}
+		if q.Bytes() != 0 {
+			t.Fatalf("drained queue reports %d bytes", q.Bytes())
+		}
+		q.CheckConservation()
+	})
+}
+
+// FuzzPfabricQueue exercises the pFabric shared buffer: priority
+// eviction under overflow, rank-ordered scheduling with the
+// starvation-prevention rule, and exact byte/packet accounting.
+func FuzzPfabricQueue(f *testing.F) {
+	f.Add([]byte{3, 0x01, 0x42, 0x83, 0x24, 0xc5, 0x66})
+	f.Add([]byte{1, 0xff, 0x00, 0x80, 0x7f, 0x81})
+	f.Add([]byte{6, 0x11, 0x12, 0x13, 0x94, 0x15, 0x96, 0x17})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		limit := int(data[0]) % 10
+		q := NewPFabric(limit)
+		q.AttachCheck("fuzz/pfabric", check.NewStrict(fuzzClock))
+
+		live := map[*pkt.Packet]bool{}
+		var seq int32
+		for _, op := range data[1:] {
+			if op&0x80 != 0 {
+				p := q.Dequeue()
+				if p == nil {
+					if q.Len() != 0 {
+						t.Fatal("nil dequeue from non-empty queue")
+					}
+					continue
+				}
+				if !live[p] {
+					t.Fatal("dequeued a packet that was never accepted (or twice)")
+				}
+				delete(live, p)
+				continue
+			}
+			seq++
+			p := &pkt.Packet{
+				Flow: pkt.FlowID(op % 4), Seq: seq, Type: pkt.Data,
+				Rank: int64(op&0x3f) - 8, // negative ranks included
+				Size: pkt.MTU, ECT: true,
+			}
+			if q.Enqueue(p) {
+				live[p] = true
+			}
+		}
+		if q.Len() > limit {
+			t.Fatalf("len %d > limit %d", q.Len(), limit)
+		}
+		// live overcounts by the eviction victims; drain and strike out.
+		drained := 0
+		for {
+			p := q.Dequeue()
+			if p == nil {
+				break
+			}
+			if !live[p] {
+				t.Fatal("drained a packet that was never accepted")
+			}
+			delete(live, p)
+			drained++
+		}
+		if q.Bytes() != 0 {
+			t.Fatalf("drained queue reports %d bytes", q.Bytes())
+		}
+		// Whatever is left in live was evicted: accepted - dequeued -
+		// evicted must balance to zero now that the queue is empty.
+		st := q.Stats()
+		evicted := int64(len(live))
+		if st.Enqueued != st.Dequeued+evicted {
+			t.Fatalf("conservation: enq %d != deq %d + evicted %d",
+				st.Enqueued, st.Dequeued, evicted)
+		}
+		q.CheckConservation()
+	})
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"pase/internal/check"
 	"pase/internal/obs"
 	"pase/internal/pkt"
 )
@@ -23,17 +24,31 @@ import (
 type PFabric struct {
 	Limit int
 	// Occ, when set, records post-enqueue occupancy (packets).
-	Occ   *obs.Histogram
-	q     []*pkt.Packet
-	bytes int64
-	stats QueueStats
-	arr   uint64 // arrival counter for deterministic tie-breaks
-	arrOf map[*pkt.Packet]uint64
+	Occ      *obs.Histogram
+	q        []*pkt.Packet
+	bytes    int64
+	stats    QueueStats
+	arr      uint64 // arrival counter for deterministic tie-breaks
+	arrOf    map[*pkt.Packet]uint64
+	chk      *check.Checker
+	chkLabel string
 }
 
 // NewPFabric returns a pFabric queue bounded at limit packets.
 func NewPFabric(limit int) *PFabric {
 	return &PFabric{Limit: limit, arrOf: make(map[*pkt.Packet]uint64)}
+}
+
+// AttachCheck implements Checkable.
+func (f *PFabric) AttachCheck(label string, c *check.Checker) {
+	f.chkLabel, f.chk = label, c
+}
+
+// CheckConservation implements Checkable. Priority eviction drops
+// packets after acceptance, which the conservation inequality
+// accounts for.
+func (f *PFabric) CheckConservation() {
+	f.chk.Conservation(f.chkLabel, f.stats.Enqueued, f.stats.Dequeued, f.stats.Dropped, len(f.q))
 }
 
 // Enqueue implements Queue.
@@ -55,6 +70,9 @@ func (f *PFabric) Enqueue(p *pkt.Packet) bool {
 	f.stats.accept(p)
 	f.stats.noteLen(len(f.q))
 	f.Occ.Observe(int64(len(f.q)))
+	if f.chk != nil {
+		f.chk.QueueCap(f.chkLabel, len(f.q), f.Limit)
+	}
 	return true
 }
 

@@ -1,0 +1,128 @@
+package netem
+
+import (
+	"testing"
+
+	"pase/internal/pkt"
+)
+
+// TestPFabricEdgeCases pins the boundary behavior of the pFabric
+// queue's drop and scheduling rules: what happens on an empty queue, on
+// rank ties, and when the buffer overflows.
+func TestPFabricEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"empty dequeue returns nil", func(t *testing.T) {
+			q := NewPFabric(4)
+			if p := q.Dequeue(); p != nil {
+				t.Fatalf("empty dequeue = %v, want nil", p)
+			}
+			if q.Len() != 0 || q.Bytes() != 0 {
+				t.Fatal("empty queue must report zero length and bytes")
+			}
+		}},
+		{"zero-limit queue drops every arrival", func(t *testing.T) {
+			q := NewPFabric(0)
+			if q.Enqueue(mkpkt(1, 0, 0, 5)) {
+				t.Fatal("zero-capacity queue accepted a packet")
+			}
+			if q.Stats().Dropped != 1 {
+				t.Fatalf("dropped = %d, want 1", q.Stats().Dropped)
+			}
+		}},
+		{"equal ranks dequeue in arrival order", func(t *testing.T) {
+			q := NewPFabric(8)
+			// Three flows, identical remaining size: FIFO among equals.
+			q.Enqueue(mkpkt(1, 0, 0, 100))
+			q.Enqueue(mkpkt(2, 0, 0, 100))
+			q.Enqueue(mkpkt(3, 0, 0, 100))
+			for _, want := range []pkt.FlowID{1, 2, 3} {
+				if got := q.Dequeue().Flow; got != want {
+					t.Fatalf("dequeue flow = %d, want %d", got, want)
+				}
+			}
+		}},
+		{"overflow evicts the largest-rank packet", func(t *testing.T) {
+			q := NewPFabric(3)
+			q.Enqueue(mkpkt(1, 0, 0, 10))
+			q.Enqueue(mkpkt(2, 0, 0, 999)) // least urgent: the victim
+			q.Enqueue(mkpkt(3, 0, 0, 20))
+			if !q.Enqueue(mkpkt(4, 0, 0, 5)) {
+				t.Fatal("more urgent arrival must be accepted")
+			}
+			if q.Len() != 3 {
+				t.Fatalf("len = %d, want 3", q.Len())
+			}
+			for q.Len() > 0 {
+				if f := q.Dequeue().Flow; f == 2 {
+					t.Fatal("victim (flow 2, rank 999) still queued")
+				}
+			}
+			if q.Stats().Dropped != 1 {
+				t.Fatalf("dropped = %d, want 1", q.Stats().Dropped)
+			}
+		}},
+		{"overflow tie keeps the incumbent, drops the arrival", func(t *testing.T) {
+			q := NewPFabric(2)
+			q.Enqueue(mkpkt(1, 0, 0, 50))
+			q.Enqueue(mkpkt(2, 0, 0, 50))
+			// Arrival ties the worst queued rank: eviction must not
+			// happen (the rule is strictly-more-urgent replaces).
+			if q.Enqueue(mkpkt(3, 0, 0, 50)) {
+				t.Fatal("tying arrival must be dropped, not swapped in")
+			}
+			if q.Stats().Dropped != 1 || q.Len() != 2 {
+				t.Fatalf("dropped=%d len=%d, want 1 and 2", q.Stats().Dropped, q.Len())
+			}
+		}},
+		{"overflow evicts newest among equal worst ranks", func(t *testing.T) {
+			q := NewPFabric(2)
+			q.Enqueue(mkpkt(1, 0, 0, 100))
+			q.Enqueue(mkpkt(2, 0, 0, 100))
+			if !q.Enqueue(mkpkt(3, 0, 0, 10)) {
+				t.Fatal("more urgent arrival must be accepted")
+			}
+			// Flow 2 arrived later; among the tied worst packets it is
+			// the eviction victim.
+			var left []pkt.FlowID
+			for q.Len() > 0 {
+				left = append(left, q.Dequeue().Flow)
+			}
+			if len(left) != 2 || left[0] != 3 || left[1] != 1 {
+				t.Fatalf("remaining flows = %v, want [3 1]", left)
+			}
+		}},
+		{"starvation rule sends earliest seq of the urgent flow", func(t *testing.T) {
+			q := NewPFabric(8)
+			// Flow 1's later segment has the smallest rank (remaining
+			// size shrinks as a flow drains), but its earlier segment
+			// must leave first.
+			q.Enqueue(mkpkt(1, 0, 0, 30))
+			q.Enqueue(mkpkt(2, 0, 0, 20))
+			q.Enqueue(mkpkt(1, 1, 0, 10)) // most urgent packet overall
+			p := q.Dequeue()
+			if p.Flow != 1 || p.Seq != 0 {
+				t.Fatalf("dequeued flow %d seq %d, want flow 1 seq 0", p.Flow, p.Seq)
+			}
+		}},
+		{"bytes track accepts, evictions and dequeues", func(t *testing.T) {
+			q := NewPFabric(2)
+			q.Enqueue(mkpkt(1, 0, 0, 10))
+			q.Enqueue(mkpkt(2, 0, 0, 99))
+			q.Enqueue(mkpkt(3, 0, 0, 1)) // evicts flow 2
+			if q.Bytes() != 2*pkt.MTU {
+				t.Fatalf("bytes = %d, want %d", q.Bytes(), 2*pkt.MTU)
+			}
+			q.Dequeue()
+			q.Dequeue()
+			if q.Bytes() != 0 || q.Len() != 0 {
+				t.Fatalf("drained queue: bytes=%d len=%d, want 0,0", q.Bytes(), q.Len())
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}

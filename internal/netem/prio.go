@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"pase/internal/check"
 	"pase/internal/obs"
 	"pase/internal/pkt"
 )
@@ -36,10 +37,12 @@ type Prio struct {
 	// the remaining bands uninstrumented.
 	OccBand []*obs.Histogram
 
-	bands []fifo
-	total int
-	bytes int64
-	stats QueueStats
+	bands    []fifo
+	total    int
+	bytes    int64
+	stats    QueueStats
+	chk      *check.Checker
+	chkLabel string
 }
 
 // NewPrio returns a strict-priority queue with the given number of
@@ -50,6 +53,17 @@ func NewPrio(bands, limit, k int) *Prio {
 		panic("netem: Prio needs at least one band")
 	}
 	return &Prio{Limit: limit, K: k, Bands: bands, bands: make([]fifo, bands)}
+}
+
+// AttachCheck implements Checkable.
+func (q *Prio) AttachCheck(label string, c *check.Checker) {
+	q.chkLabel, q.chk = label, c
+}
+
+// CheckConservation implements Checkable. Push-out drops packets after
+// acceptance, which the conservation inequality accounts for.
+func (q *Prio) CheckConservation() {
+	q.chk.Conservation(q.chkLabel, q.stats.Enqueued, q.stats.Dequeued, q.stats.Dropped, q.total)
 }
 
 // band clamps a packet's priority class into the configured range.
@@ -81,6 +95,9 @@ func (q *Prio) Enqueue(p *pkt.Packet) bool {
 	if p.ECT && q.bands[b].len() >= q.K {
 		p.CE = true
 		q.stats.Marked++
+		if q.chk != nil {
+			q.chk.ECNMark(q.chkLabel, uint64(p.Flow), q.bands[b].len(), q.K)
+		}
 	}
 	q.bands[b].push(p)
 	q.total++
@@ -89,6 +106,13 @@ func (q *Prio) Enqueue(p *pkt.Packet) bool {
 	q.stats.noteLen(q.total)
 	if b < len(q.OccBand) {
 		q.OccBand[b].Observe(int64(q.bands[b].len()))
+	}
+	if q.chk != nil {
+		if q.PerBand {
+			q.chk.QueueCap(q.chkLabel, q.bands[b].len(), q.Limit)
+		} else {
+			q.chk.QueueCap(q.chkLabel, q.total, q.Limit)
+		}
 	}
 	return true
 }
@@ -120,6 +144,16 @@ func (q *Prio) Dequeue() *pkt.Packet {
 		q.total--
 		q.bytes -= int64(p.Size)
 		q.stats.Dequeued++
+		if q.chk != nil {
+			// Independent recount of the higher bands: catches any
+			// future fast-path (cached non-empty index, per-band
+			// counters) that goes stale.
+			busy := 0
+			for v := 0; v < b; v++ {
+				busy += q.bands[v].len()
+			}
+			q.chk.StrictPrio(q.chkLabel, b, busy)
+		}
 		return p
 	}
 	return nil

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"pase/internal/check"
 	"pase/internal/obs"
 	"pase/internal/pkt"
 )
@@ -22,6 +23,17 @@ type Queue interface {
 	Bytes() int64
 	// Stats exposes the discipline's counters.
 	Stats() *QueueStats
+}
+
+// Checkable is implemented by disciplines that support runtime
+// invariant checking. AttachCheck installs the run's checker (nil
+// detaches — the default, free state) together with a label locating
+// the queue in violation reports; CheckConservation verifies the
+// discipline's end-state packet accounting and is called when the
+// queue goes quiet (end of run, or after a fuzzed op sequence).
+type Checkable interface {
+	AttachCheck(label string, c *check.Checker)
+	CheckConservation()
 }
 
 // QueueStats counts what happened at one queue.
@@ -124,14 +136,26 @@ type DropTail struct {
 	Limit int
 	// Occ, when set, records post-enqueue occupancy (packets). A nil
 	// histogram is a no-op; queues of one kind may share one instrument.
-	Occ   *obs.Histogram
-	q     fifo
-	stats QueueStats
+	Occ      *obs.Histogram
+	q        fifo
+	stats    QueueStats
+	chk      *check.Checker
+	chkLabel string
 }
 
 // NewDropTail returns a FIFO bounded at limit packets.
 func NewDropTail(limit int) *DropTail {
 	return &DropTail{Limit: limit}
+}
+
+// AttachCheck implements Checkable.
+func (d *DropTail) AttachCheck(label string, c *check.Checker) {
+	d.chkLabel, d.chk = label, c
+}
+
+// CheckConservation implements Checkable.
+func (d *DropTail) CheckConservation() {
+	d.chk.Conservation(d.chkLabel, d.stats.Enqueued, d.stats.Dequeued, d.stats.Dropped, d.q.len())
 }
 
 // Enqueue implements Queue.
@@ -144,6 +168,9 @@ func (d *DropTail) Enqueue(p *pkt.Packet) bool {
 	d.stats.accept(p)
 	d.stats.noteLen(d.q.len())
 	d.Occ.Observe(int64(d.q.len()))
+	if d.chk != nil {
+		d.chk.QueueCap(d.chkLabel, d.q.len(), d.Limit)
+	}
 	return true
 }
 
@@ -169,15 +196,27 @@ type REDECN struct {
 	Limit int
 	K     int
 	// Occ, when set, records post-enqueue occupancy (packets).
-	Occ   *obs.Histogram
-	q     fifo
-	stats QueueStats
+	Occ      *obs.Histogram
+	q        fifo
+	stats    QueueStats
+	chk      *check.Checker
+	chkLabel string
 }
 
 // NewREDECN returns a marking FIFO with the given capacity and
 // threshold (both in packets).
 func NewREDECN(limit, k int) *REDECN {
 	return &REDECN{Limit: limit, K: k}
+}
+
+// AttachCheck implements Checkable.
+func (r *REDECN) AttachCheck(label string, c *check.Checker) {
+	r.chkLabel, r.chk = label, c
+}
+
+// CheckConservation implements Checkable.
+func (r *REDECN) CheckConservation() {
+	r.chk.Conservation(r.chkLabel, r.stats.Enqueued, r.stats.Dequeued, r.stats.Dropped, r.q.len())
 }
 
 // Enqueue implements Queue.
@@ -189,11 +228,17 @@ func (r *REDECN) Enqueue(p *pkt.Packet) bool {
 	if p.ECT && r.q.len() >= r.K {
 		p.CE = true
 		r.stats.Marked++
+		if r.chk != nil {
+			r.chk.ECNMark(r.chkLabel, uint64(p.Flow), r.q.len(), r.K)
+		}
 	}
 	r.q.push(p)
 	r.stats.accept(p)
 	r.stats.noteLen(r.q.len())
 	r.Occ.Observe(int64(r.q.len()))
+	if r.chk != nil {
+		r.chk.QueueCap(r.chkLabel, r.q.len(), r.Limit)
+	}
 	return true
 }
 

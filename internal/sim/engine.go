@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"pase/internal/check"
 	"pase/internal/obs"
 )
 
@@ -38,6 +39,10 @@ type Engine struct {
 	obsSched   *obs.Counter
 	obsStopped *obs.Counter
 	obsHeap    *obs.Gauge
+
+	// chk, when non-nil, verifies dispatch-order invariants (clock
+	// monotonicity). Nil (the default) costs one pointer test per event.
+	chk *check.Checker
 }
 
 // Instrument attaches run-wide observability to the engine. Passing a
@@ -53,6 +58,11 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.obsStopped = reg.Counter("sim/timers_stopped")
 	e.obsHeap = reg.Gauge("sim/heap_depth")
 }
+
+// AttachCheck attaches a runtime invariant checker to the engine;
+// passing nil detaches it (the default state). The engine verifies
+// that dispatched event timestamps never run backwards.
+func (e *Engine) AttachCheck(c *check.Checker) { e.chk = c }
 
 // maxFree bounds the free list so a burst of scheduling does not pin
 // memory for the rest of the run. Records beyond the cap are left to
@@ -195,6 +205,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	e.events.popTop()
+	if e.chk != nil {
+		e.chk.Monotonic("sim/engine", int64(e.now), int64(ev.at))
+	}
 	e.now = ev.at
 	e.Executed++
 	e.obsFired.Inc()

@@ -3,7 +3,9 @@ package transport
 import (
 	"fmt"
 
+	"pase/internal/check"
 	"pase/internal/metrics"
+	"pase/internal/netem"
 	"pase/internal/obs"
 	"pase/internal/pkt"
 	"pase/internal/sim"
@@ -29,6 +31,8 @@ type Driver struct {
 
 	remaining int
 	started   []*Sender
+
+	chk *check.Checker
 }
 
 // Instrument attaches run-wide observability to every stack. The
@@ -72,7 +76,32 @@ func NewDriver(net *topology.Network, newControl func(*Sender) Control) *Driver 
 // Stack returns the stack of host id.
 func (d *Driver) Stack(id pkt.NodeID) *Stack { return d.Stacks[id] }
 
+// AttachCheck installs a runtime invariant checker: every completed
+// flow is verified against its physical completion-time lower bound —
+// Size bytes cannot clear the path's bottleneck link faster than their
+// serialization time there. Nil detaches (the default).
+func (d *Driver) AttachCheck(c *check.Checker) { d.chk = c }
+
+// checkFCT verifies one completed flow's FCT lower bound.
+func (d *Driver) checkFCT(s *Sender) {
+	var bottleneck netem.BitRate
+	for _, l := range d.Net.PathFlow(s.Spec.Src, s.Spec.Dst, s.Spec.ID) {
+		if bottleneck == 0 || l.Capacity() < bottleneck {
+			bottleneck = l.Capacity()
+		}
+	}
+	if bottleneck <= 0 {
+		return
+	}
+	bound := s.Spec.Size * 8 * int64(sim.Second) / int64(bottleneck)
+	fct := int64(s.FinishTime.Sub(s.Spec.Start))
+	d.chk.FCTBound("transport/flow", uint64(s.Spec.ID), fct, bound)
+}
+
 func (d *Driver) flowDone(s *Sender) {
+	if d.chk != nil && !s.Aborted {
+		d.checkFCT(s)
+	}
 	if !s.Spec.Background {
 		d.remaining--
 		if d.remaining == 0 {

@@ -74,8 +74,13 @@ func (e *Empirical) computeMean() float64 {
 
 // Sample implements SizeDist by inverse-transform sampling with linear
 // interpolation between anchors.
-func (e *Empirical) Sample(r *sim.Rand) int64 {
-	u := r.Float64()
+func (e *Empirical) Sample(r *sim.Rand) int64 { return e.sampleAt(r.Float64()) }
+
+// sampleAt inverts the CDF at quantile u in [0, 1): sizes at or below
+// the first anchor's fraction collapse onto the first anchor, anything
+// else interpolates linearly inside its bracket, and the result never
+// goes below one byte.
+func (e *Empirical) sampleAt(u float64) int64 {
 	idx := sort.Search(len(e.points), func(i int) bool { return e.points[i].Fraction >= u })
 	if idx == 0 {
 		return e.points[0].Size

@@ -1,0 +1,92 @@
+package workload
+
+import "testing"
+
+// TestEmpiricalSampleAtBoundaries drives the inverse CDF directly at
+// its seams: u = 0, u inside the first bucket, u exactly on an anchor,
+// u approaching 1.
+func TestEmpiricalSampleAtBoundaries(t *testing.T) {
+	e := MustEmpirical("tri", []CDFPoint{
+		{Size: 10, Fraction: 0.25},
+		{Size: 100, Fraction: 0.75},
+		{Size: 1000, Fraction: 1.0},
+	})
+	cases := []struct {
+		name string
+		u    float64
+		want int64
+	}{
+		{"u=0 collapses to the first anchor", 0, 10},
+		{"inside the first bucket still the first anchor", 0.1, 10},
+		{"exactly the first anchor", 0.25, 10},
+		{"midpoint of the second bucket", 0.5, 55},  // 10 + 0.5*(100-10)
+		{"exactly the second anchor", 0.75, 100},
+		{"inside the last bucket", 0.875, 550}, // 100 + 0.5*(1000-100)
+		{"u→1 reaches the last anchor", 1.0, 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := e.sampleAt(tc.u); got != tc.want {
+				t.Fatalf("sampleAt(%g) = %d, want %d", tc.u, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEmpiricalSampleAtClampsToOneByte: an interpolated size below one
+// byte (possible when the first anchor is tiny) clamps to 1 — the
+// workload generator never emits zero-size flows.
+func TestEmpiricalSampleAtClampsToOneByte(t *testing.T) {
+	e := MustEmpirical("tiny", []CDFPoint{
+		{Size: 1, Fraction: 0.5},
+		{Size: 2, Fraction: 1.0},
+	})
+	for _, u := range []float64{0, 0.001, 0.5, 0.75, 1.0} {
+		if got := e.sampleAt(u); got < 1 {
+			t.Fatalf("sampleAt(%g) = %d, want >= 1", u, got)
+		}
+	}
+}
+
+// TestEmpiricalTwoPointMinimum: the smallest legal distribution (two
+// anchors) interpolates across its single bracket.
+func TestEmpiricalTwoPointMinimum(t *testing.T) {
+	e := MustEmpirical("pair", []CDFPoint{
+		{Size: 100, Fraction: 0.5},
+		{Size: 200, Fraction: 1.0},
+	})
+	if got := e.sampleAt(0.75); got != 150 {
+		t.Fatalf("sampleAt(0.75) = %d, want 150", got)
+	}
+	if got := e.sampleAt(0.25); got != 100 {
+		t.Fatalf("sampleAt(0.25) = %d, want 100 (first-bucket collapse)", got)
+	}
+	// The mean integrates to 0.5*100 + 0.5*150 = 125.
+	if m := e.Mean(); m != 125 {
+		t.Fatalf("mean = %g, want 125", m)
+	}
+}
+
+// TestEmpiricalRejectsDegenerates extends the validation table with the
+// degenerate shapes the fuzzer hunts for: zero sizes, single points,
+// duplicate anchors, NaN-adjacent fractions.
+func TestEmpiricalRejectsDegenerates(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []CDFPoint
+	}{
+		{"zero size", []CDFPoint{{Size: 0, Fraction: 0.5}, {Size: 10, Fraction: 1}}},
+		{"single point at 1.0", []CDFPoint{{Size: 10, Fraction: 1}}},
+		{"duplicate size", []CDFPoint{{Size: 10, Fraction: 0.5}, {Size: 10, Fraction: 1}}},
+		{"duplicate fraction", []CDFPoint{{Size: 10, Fraction: 0.5}, {Size: 20, Fraction: 0.5}, {Size: 30, Fraction: 1}}},
+		{"fraction above one", []CDFPoint{{Size: 10, Fraction: 0.5}, {Size: 20, Fraction: 1.5}}},
+		{"ends below one", []CDFPoint{{Size: 10, Fraction: 0.5}, {Size: 20, Fraction: 0.999}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewEmpirical("bad", tc.pts); err == nil {
+				t.Fatal("degenerate distribution accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzEmpiricalCDF decodes arbitrary bytes into candidate CDF anchor
+// lists. Whatever NewEmpirical accepts must then behave: samples stay
+// inside the support, never drop below one byte, the inverse CDF is
+// monotone in the quantile, and the analytic mean stays inside the
+// support too. Whatever it rejects must not slip through MustEmpirical.
+func FuzzEmpiricalCDF(f *testing.F) {
+	f.Add([]byte{0x0a, 0x00, 0x20, 0x64, 0x00, 0x60, 0xe8, 0x03, 0xff})
+	f.Add([]byte{0x01, 0x00, 0x10, 0x01, 0x00, 0xff})
+	f.Add([]byte{0x64, 0x00, 0x00, 0x64, 0x00, 0x40, 0xc8, 0x00, 0x80, 0x2c, 0x01, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each anchor is 3 bytes: 2 for the size step, 1 for the
+		// fraction step. Building by accumulation biases the corpus
+		// toward *valid* monotone inputs so the accept path gets real
+		// coverage; raw non-monotone shapes still occur via zero steps.
+		var pts []CDFPoint
+		var size int64
+		var frac float64
+		for len(data) >= 3 && len(pts) < 64 {
+			sizeStep := int64(binary.LittleEndian.Uint16(data[:2]))
+			fracStep := float64(data[2]) / 255
+			data = data[3:]
+			size += sizeStep
+			frac += fracStep
+			pts = append(pts, CDFPoint{Size: size, Fraction: math.Min(frac, 1)})
+		}
+		if len(pts) > 0 {
+			pts[len(pts)-1].Fraction = 1 // reachable end anchor half the time
+		}
+		e, err := NewEmpirical("fuzz", pts)
+		if err != nil {
+			// Rejected: MustEmpirical must agree (panic), not diverge.
+			defer func() {
+				if recover() == nil {
+					t.Fatal("NewEmpirical rejected but MustEmpirical accepted")
+				}
+			}()
+			MustEmpirical("fuzz", pts)
+			return
+		}
+		lo, hi := pts[0].Size, pts[len(pts)-1].Size
+		prev := int64(0)
+		for i := 0; i <= 64; i++ {
+			u := float64(i) / 64
+			v := e.sampleAt(u)
+			if v < 1 || v < lo || v > hi {
+				t.Fatalf("sampleAt(%g) = %d outside [max(1,%d), %d]", u, v, lo, hi)
+			}
+			if v < prev {
+				t.Fatalf("inverse CDF not monotone: sampleAt(%g) = %d < %d", u, v, prev)
+			}
+			prev = v
+		}
+		if m := e.Mean(); m < 0 || m > float64(hi) {
+			t.Fatalf("mean %g outside [0, %d]", m, hi)
+		}
+	})
+}

@@ -162,6 +162,15 @@ type SimConfig struct {
 	// histograms. Off by default — the hot path then costs only nil
 	// checks.
 	Obs bool
+	// Check attaches the runtime invariant checker to the run: queue
+	// conservation and capacity, strict-priority ordering, ECN marking,
+	// arbitration feasibility, clock monotonicity and per-flow FCT
+	// lower bounds are verified as the simulation executes. Breaches
+	// land in Report.Violations / Report.ViolationDetails. Off by
+	// default — the hot path then costs only nil checks. Setting the
+	// PASE_CHECK environment variable force-enables checking for every
+	// run.
+	Check bool
 	// FlowTrace records flow lifecycle events (start/done/abort) into
 	// the report; write them with Report.WriteFlowTrace.
 	FlowTrace bool
@@ -215,6 +224,12 @@ type Report struct {
 	// Obs is the run's observability snapshot (nil unless
 	// SimConfig.Obs).
 	Obs *Snapshot
+
+	// Violations counts invariant breaches the runtime checker
+	// observed (always 0 unless SimConfig.Check or PASE_CHECK was set);
+	// ViolationDetails holds up to the first 64, formatted.
+	Violations       int64
+	ViolationDetails []string
 
 	flowEvents   []trace.FlowEvent
 	queueSamples []trace.QueueSample
@@ -278,6 +293,7 @@ func pointConfig(cfg SimConfig) experiments.PointConfig {
 		Seed:     cfg.Seed,
 		NumFlows: cfg.NumFlows,
 		Obs:      cfg.Obs,
+		Check:    cfg.Check,
 		Trace: experiments.TraceConfig{
 			FlowLog:     cfg.FlowTrace,
 			QueueSample: sim.Duration(cfg.QueueTrace),
@@ -348,8 +364,12 @@ func report(r experiments.PointResult, includeFlowLog bool) *Report {
 		Retransmits:   r.Summary.Retx,
 		Timeouts:      r.Summary.Timeouts,
 		Obs:           r.Obs,
+		Violations:    r.Violations,
 		flowEvents:    r.FlowEvents,
 		queueSamples:  r.QueueSamples,
+	}
+	for _, v := range r.CheckViolations {
+		rep.ViolationDetails = append(rep.ViolationDetails, v.String())
 	}
 	for _, p := range r.CDF {
 		rep.CDF = append(rep.CDF, CDFPoint{FCT: p.Value.Std(), Fraction: p.Fraction})
@@ -418,6 +438,11 @@ type FigureOpts struct {
 	// merge happens in input order, so the result is identical at any
 	// Parallelism.
 	Obs bool
+	// Check runs every simulation point with the runtime invariant
+	// checker attached; FigureData.Violations totals the breaches
+	// across the whole grid. Setting the PASE_CHECK environment
+	// variable force-enables this.
+	Check bool
 	// Progress, if set, is called after each simulation point with the
 	// number of points done and the total. It may be invoked
 	// concurrently from worker goroutines; the callback must be safe
@@ -428,7 +453,8 @@ type FigureOpts struct {
 // expOpts maps the public options onto the experiment runner's.
 func expOpts(o FigureOpts) experiments.Opts {
 	return experiments.Opts{NumFlows: o.NumFlows, Seed: o.Seed, Seeds: o.Seeds,
-		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Progress: o.Progress}
+		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Check: o.Check,
+		Progress: o.Progress}
 }
 
 // FigureSeries is one curve of a regenerated figure.
@@ -453,6 +479,9 @@ type FigureData struct {
 	Points   int
 	Retx     int64
 	Timeouts int64
+	// Violations totals invariant breaches across every point (always
+	// 0 unless FigureOpts.Check or PASE_CHECK enabled the checker).
+	Violations int64
 
 	raw *experiments.Result
 }
@@ -495,7 +524,8 @@ func RunFigure(id string, opts FigureOpts) (*FigureData, error) {
 		XLabel: res.XLabel, YLabel: res.YLabel,
 		Notes:  res.Notes,
 		Points: res.Points, Retx: res.Retx, Timeouts: res.Timeouts,
-		raw: res,
+		Violations: res.Violations,
+		raw:        res,
 	}
 	for _, s := range res.Series {
 		out.Series = append(out.Series, FigureSeries{Name: s.Name, X: s.X, Y: s.Y})
