@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check-test fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
+.PHONY: build vet test race check-test chaos-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ race:
 check-test:
 	PASE_CHECK=1 $(GO) test ./...
 
+# A short randomized-fault soak under the forced invariant checker:
+# PASE runs through link flaps, packet loss/corruption, a lossy slow
+# control plane and periodic arbitrator crashes, and must finish every
+# flow with zero invariant violations (plus the determinism re-run).
+chaos-smoke:
+	PASE_CHECK=1 $(GO) test -run 'TestChaos' -count=1 -v ./internal/experiments/
+
 # Each fuzz target gets a short budget over its committed seed corpus
 # (testdata/fuzz/) — a CI-sized smoke that still explores beyond the
 # seeds. -fuzz accepts one target per invocation, hence four runs.
@@ -32,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPfabricQueue$$' -fuzztime 10s ./internal/netem/
 	$(GO) test -run '^$$' -fuzz '^FuzzArbitrator$$' -fuzztime 10s ./internal/core/arbitration/
 	$(GO) test -run '^$$' -fuzz '^FuzzEmpiricalCDF$$' -fuzztime 10s ./internal/workload/
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime 10s ./internal/faults/
 
 # One-iteration figure regenerations: catches perf cliffs and keeps
 # the bench harness compiling without paying full bench time. The
@@ -61,4 +69,4 @@ manifest-sample:
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race check-test fuzz-smoke bench-smoke obs-bench
+ci: vet build test race check-test chaos-smoke fuzz-smoke bench-smoke obs-bench

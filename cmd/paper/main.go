@@ -31,20 +31,21 @@ import (
 
 func main() {
 	var (
-		figID = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing)")
-		all   = flag.Bool("all", false, "regenerate every figure")
-		list  = flag.Bool("list", false, "list the available figures")
-		flows = flag.Int("flows", 2000, "foreground flows per simulation point")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		seeds = flag.Int("seeds", 1, "average each sweep point over this many seeds")
-		loads    = flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.5,0.8")
-		out      = flag.String("out", "", "write each figure's TSV and manifest into this directory (default: manifest only, working directory)")
-		parallel = flag.Int("parallel", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial; output is identical at any setting)")
-		obs      = flag.Bool("obs", true, "collect per-run observability and write fig<id>.manifest.json")
-		chkFlag  = flag.Bool("check", false, "run every point with the runtime invariant checker; exit 1 on any violation")
-		progress = flag.Bool("progress", true, "live progress meter on stderr")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		figID     = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing, task, leafspine, robust)")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		list      = flag.Bool("list", false, "list the available figures")
+		flows     = flag.Int("flows", 2000, "foreground flows per simulation point")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		seeds     = flag.Int("seeds", 1, "average each sweep point over this many seeds")
+		loads     = flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.5,0.8")
+		out       = flag.String("out", "", "write each figure's TSV and manifest into this directory (default: manifest only, working directory)")
+		parallel  = flag.Int("parallel", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial; output is identical at any setting)")
+		obs       = flag.Bool("obs", true, "collect per-run observability and write fig<id>.manifest.json")
+		chkFlag   = flag.Bool("check", false, "run every point with the runtime invariant checker; exit 1 on any violation")
+		faultSpec = flag.String("faults", "", `fault-injection plan applied to every simulation point, e.g. "ctrl:drop=0.2"`)
+		progress  = flag.Bool("progress", true, "live progress meter on stderr")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -57,6 +58,14 @@ func main() {
 
 	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds,
 		Parallelism: *parallel, Obs: *obs, Check: *chkFlag}
+	if *faultSpec != "" {
+		plan, err := pase.ParseFaults(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		opts.Faults = plan
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)

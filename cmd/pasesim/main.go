@@ -46,6 +46,7 @@ func main() {
 		queueLog  = flag.String("queuetrace", "", "write sampled queue occupancies as TSV to this file")
 		queueInt  = flag.Duration("queueinterval", 100*time.Microsecond, "queue sampling interval for -queuetrace")
 		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
+		faultSpec = flag.String("faults", "", `fault-injection plan, e.g. "loss:link=*,class=data,rate=0.01; ctrl:drop=0.2"`)
 		obs       = flag.Bool("obs", false, "collect run observability and write a manifest (see -manifest)")
 		chkFlag   = flag.Bool("check", false, "run with the runtime invariant checker; exit 1 on any violation")
 		manifest  = flag.String("manifest", "", "manifest output path (implies -obs; default pasesim.manifest.json when -obs is set)")
@@ -83,6 +84,13 @@ func main() {
 	}
 	if *queueLog != "" {
 		cfg.QueueTrace = *queueInt
+	}
+	if *faultSpec != "" {
+		plan, err := pase.ParseFaults(*faultSpec)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Faults = plan
 	}
 
 	stopCPU, err := cliutil.StartCPUProfile(*cpuProf)

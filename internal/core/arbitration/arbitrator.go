@@ -63,6 +63,10 @@ type Arbitrator struct {
 	epoch   sim.Time // when the current allocation pass happened
 	period  sim.Duration
 
+	// down marks a crashed arbitrator: soft state is gone and requests
+	// go unanswered until Restore.
+	down bool
+
 	chk      *check.Checker
 	chkLabel string
 }
@@ -115,6 +119,29 @@ func (a *Arbitrator) Capacity() netem.BitRate { return a.capacity }
 
 // Flows returns the number of live registered flows.
 func (a *Arbitrator) Flows() int { return len(a.entries) }
+
+// Crash wipes the arbitrator's soft state — the flow table and every
+// cached allocation — and marks it unreachable. PASE keeps no durable
+// state: after Restore everything rebuilds from the next round of
+// refreshes (§3.3 of the paper).
+func (a *Arbitrator) Crash() {
+	a.down = true
+	for id := range a.entries {
+		delete(a.entries, id)
+	}
+	a.sorted = a.sorted[:0]
+	a.epoch = -1
+}
+
+// Restore brings a crashed arbitrator back, empty; state rebuilds as
+// refreshes arrive.
+func (a *Arbitrator) Restore() {
+	a.down = false
+	a.epoch = -1
+}
+
+// Down reports whether the arbitrator is crashed.
+func (a *Arbitrator) Down() bool { return a.down }
 
 // Update registers or refreshes a flow and returns its decision
 // (Algorithm 1). key is the scheduling criterion (remaining size or

@@ -61,11 +61,26 @@ type Stats struct {
 	Pruned int64
 }
 
+// ControlFaults lets a fault injector interfere with arbitration
+// message exchanges. DropRequest / DropResponse are consulted once per
+// remote half-exchange (host-local access-link arbitration exchanges no
+// network messages and is immune); CtrlExtraDelay adds latency to each
+// surviving response. All methods may draw from the injector's private
+// RNG stream.
+type ControlFaults interface {
+	DropRequest() bool
+	DropResponse() bool
+	CtrlExtraDelay() sim.Duration
+}
+
 // System is the fabric-wide arbitration control plane.
 type System struct {
 	P   Params
 	net *topology.Network
 	eng *sim.Engine
+
+	// Faults, when set, injects control-plane message loss and delay.
+	Faults ControlFaults
 
 	// arbs maps topology link ID -> arbitrator for flows that consult
 	// the real (non-delegated) link.
@@ -150,6 +165,11 @@ func (sys *System) racksUnderAggLink(l *topology.Link) []int {
 func (sys *System) scheduleShareRefresh() {
 	sys.eng.Schedule(sys.P.Epoch, func() {
 		for linkID, kids := range sys.children {
+			// A crashed parent cannot answer share requests; children
+			// keep their last shares until it restarts.
+			if sys.arbs[linkID].Down() {
+				continue
+			}
 			// An idle delegation pair exchanges nothing.
 			busy := false
 			for _, va := range kids {
@@ -212,6 +232,51 @@ func (sys *System) AttachCheck(c *check.Checker) {
 	}
 	for _, va := range sys.virt {
 		va.AttachCheck(c)
+	}
+}
+
+// Crash wipes the soft state of the arbitrator owning the given link
+// (and any delegated virtual slices of it); -1 crashes every
+// arbitrator in the fabric. Crashed arbitrators answer no requests
+// until Restore.
+func (sys *System) Crash(link int) {
+	if link == -1 {
+		for _, a := range sys.arbs {
+			a.Crash()
+		}
+		for _, va := range sys.virt {
+			va.Crash()
+		}
+		return
+	}
+	if a := sys.arbs[link]; a != nil {
+		a.Crash()
+	}
+	for k, va := range sys.virt {
+		if k.link == link {
+			va.Crash()
+		}
+	}
+}
+
+// Restore brings crashed arbitrators back (empty); -1 restores all.
+func (sys *System) Restore(link int) {
+	if link == -1 {
+		for _, a := range sys.arbs {
+			a.Restore()
+		}
+		for _, va := range sys.virt {
+			va.Restore()
+		}
+		return
+	}
+	if a := sys.arbs[link]; a != nil {
+		a.Restore()
+	}
+	for k, va := range sys.virt {
+		if k.link == link {
+			va.Restore()
+		}
 	}
 }
 
@@ -322,6 +387,16 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 	}
 	rack := sys.net.RackOf(leaf)
 
+	// A half is remote when the exchange crosses the network: the dst
+	// half always does (the setup travels to the receiver and back);
+	// the src half only when arbitration may climb past the host-local
+	// access-link arbitrator.
+	fi := sys.Faults
+	remote := !srcSide || (!p.LocalOnly && len(links) > 1)
+	if fi != nil && remote && fi.DropRequest() {
+		return // request lost in the fabric; the endpoint retries
+	}
+
 	worst := Decision{Queue: 0, Rref: netem.BitRate(1 << 62)}
 	merge := func(h Decision) {
 		if h.Queue > worst.Queue {
@@ -334,6 +409,7 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 
 	depth := 0 // how many hops up the arbitration traveled
 	pruned := false
+	dead := false
 	for i, l := range links {
 		if i > 0 && p.LocalOnly {
 			break
@@ -347,25 +423,46 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 			// extra hop.
 			va := sys.virt[virtKey{l.ID, rack}]
 			if va != nil {
+				if va.Down() {
+					dead = true
+					break
+				}
 				merge(va.Update(c.flow, key, demand))
 				continue
 			}
 		}
+		a := sys.arbs[l.ID]
+		if a.Down() {
+			// The bottom-up chain breaks here: arbitrators below kept
+			// the update, the rest never hear of it, and no response
+			// comes back until the crashed arbitrator restarts.
+			dead = true
+			break
+		}
 		if i > 0 {
 			depth = i // host->ToR is hop 1, ToR->agg hop 2
 		}
-		merge(sys.arbs[l.ID].Update(c.flow, key, demand))
+		merge(a.Update(c.flow, key, demand))
 	}
 	if pruned {
 		sys.Stats.Pruned++
 	}
 	sys.countMessages(int64(2 * depth))
+	if dead {
+		return
+	}
 
 	latency := sim.Duration(2*depth) * p.CtrlPerHop
 	if !srcSide {
 		// The destination half is initiated by the receiver after the
 		// setup reaches it and the result returns to the sender.
 		latency += sim.Duration(len(c.upPath)+len(c.downPath)) * sys.net.Cfg.LinkDelay * 2
+	}
+	if fi != nil && remote {
+		if fi.DropResponse() {
+			return // response lost on the way back; the endpoint retries
+		}
+		latency += fi.CtrlExtraDelay()
 	}
 	result := worst
 	sys.eng.Schedule(latency, func() {
@@ -392,10 +489,25 @@ func (c *Client) Release() {
 	}
 	c.released = true
 	c.sys.Stats.Releases++
-	remove := func(links []*topology.Link, leaf pkt.NodeID) {
+	remove := func(links []*topology.Link, leaf pkt.NodeID, localFirst bool) {
 		rack := c.sys.net.RackOf(leaf)
+		// Releases are one-way and unacknowledged; a lost one leaves
+		// remote entries to lease expiry (the host-local arbitrator is
+		// always cleaned). localFirst marks the half whose first link
+		// lives on the releasing host.
+		lost := false
+		if fi := c.sys.Faults; fi != nil {
+			n := len(links)
+			if localFirst {
+				n--
+			}
+			lost = n > 0 && fi.DropRequest()
+		}
 		hops := 0
 		for i, l := range links {
+			if lost && !(localFirst && i == 0) {
+				continue
+			}
 			if va := c.sys.virt[virtKey{l.ID, rack}]; c.sys.P.Delegation && l.Level == topology.LevelAggCore && va != nil {
 				va.Remove(c.flow)
 				continue
@@ -407,10 +519,10 @@ func (c *Client) Release() {
 		}
 		c.sys.countMessages(int64(hops))
 	}
-	remove(c.upPath, c.src)
+	remove(c.upPath, c.src, true)
 	rev := make([]*topology.Link, len(c.downPath))
 	for i, l := range c.downPath {
 		rev[len(c.downPath)-1-i] = l
 	}
-	remove(rev, c.dst)
+	remove(rev, c.dst, false)
 }

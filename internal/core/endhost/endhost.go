@@ -9,6 +9,7 @@ package endhost
 import (
 	"pase/internal/core/arbitration"
 	"pase/internal/netem"
+	"pase/internal/obs"
 	"pase/internal/pkt"
 	"pase/internal/sim"
 	"pase/internal/transport"
@@ -39,18 +40,32 @@ type Config struct {
 	G float64
 	// RefreshRTTs is the arbitration refresh period in flow RTTs.
 	RefreshRTTs float64
+	// RetryCap bounds the exponential backoff of arbitration-request
+	// retries after missed responses (§3.3: soft-state refreshes double
+	// their period per miss up to this cap).
+	RetryCap sim.Duration
+	// FallbackAfter is how long a flow tolerates arbitration silence —
+	// reusing its previous (queue, Rref) allocation — before it falls
+	// back to self-adjusting DCTCP-style rate control in the lowest
+	// priority queue. The default is about one arbitration lease
+	// (8 epochs): past that the arbitrators have expired the flow's
+	// soft state anyway, so the cached allocation means nothing.
+	// 0 disables the fallback.
+	FallbackAfter sim.Duration
 }
 
 // DefaultConfig returns the paper's parameterization.
 func DefaultConfig() Config {
 	return Config{
-		MinRTOTop:    10 * sim.Millisecond,
-		MinRTOLow:    200 * sim.Millisecond,
-		Probing:      true,
-		ReorderGuard: true,
-		UseRefRate:   true,
-		G:            1.0 / 16.0,
-		RefreshRTTs:  1,
+		MinRTOTop:     10 * sim.Millisecond,
+		MinRTOLow:     200 * sim.Millisecond,
+		Probing:       true,
+		ReorderGuard:  true,
+		UseRefRate:    true,
+		G:             1.0 / 16.0,
+		RefreshRTTs:   1,
+		RetryCap:      2 * sim.Millisecond,
+		FallbackAfter: sim.Millisecond,
 	}
 }
 
@@ -58,6 +73,24 @@ func DefaultConfig() Config {
 type Transport struct {
 	Sys *arbitration.System
 	Cfg Config
+
+	o struct {
+		retries   *obs.Counter
+		reuse     *obs.Counter
+		fallbacks *obs.Counter
+		resyncs   *obs.Counter
+	}
+}
+
+// Instrument registers the degradation-path counters: arbitration
+// retries, allocation reuses across missed responses, DCTCP fallbacks
+// and post-recovery re-synchronizations. Safe to skip (nil counters
+// are no-ops).
+func (t *Transport) Instrument(reg *obs.Registry) {
+	t.o.retries = reg.Counter("pase/arb_retries")
+	t.o.reuse = reg.Counter("pase/arb_reuse")
+	t.o.fallbacks = reg.Counter("pase/fallbacks")
+	t.o.resyncs = reg.Counter("pase/resyncs")
 }
 
 // Attach installs PASE on every stack of the driver.
@@ -105,6 +138,16 @@ type control struct {
 	guarding  bool // reorder guard active: draining before promotion
 	probeMode bool // bottom-queue probing instead of data
 
+	// Graceful-degradation state (§3.3): awaiting is set while a
+	// refresh has no response yet; misses counts consecutive unanswered
+	// refreshes (driving the retry backoff); lastHeard is when the
+	// control plane last answered; fallback marks DCTCP-mode operation
+	// while the arbitrator is unreachable.
+	awaiting  bool
+	misses    int
+	lastHeard sim.Time
+	fallback  bool
+
 	refreshTimer sim.Timer
 	probeTimer   sim.Timer
 	stopped      bool
@@ -126,6 +169,8 @@ func (c *control) Init(s *transport.Sender) {
 	s.Hold = true
 	c.client = c.t.Sys.NewClient(s.Spec.ID, s.Spec.Src, s.Spec.Dst)
 	c.client.OnUpdate = func() { c.onArbitration(s) }
+	c.lastHeard = s.Now()
+	c.awaiting = true
 	c.client.Refresh(c.key(s), c.demand(s))
 	c.scheduleRefresh(s)
 }
@@ -163,13 +208,62 @@ func (c *control) demand(s *transport.Sender) netem.BitRate {
 
 func (c *control) scheduleRefresh(s *transport.Sender) {
 	period := sim.Duration(c.t.Cfg.RefreshRTTs * float64(s.RTT()))
+	// Capped exponential backoff: each consecutive unanswered refresh
+	// doubles the retry period, up to RetryCap. With no misses the
+	// period is exactly the paper's refresh interval, whatever the
+	// measured RTT.
+	if c.misses > 0 {
+		for i := 0; i < c.misses && period < c.t.Cfg.RetryCap; i++ {
+			period *= 2
+		}
+		if cap := c.t.Cfg.RetryCap; cap > 0 && period > cap {
+			period = cap
+		}
+	}
 	c.refreshTimer = s.Stack().Eng.Schedule(period, func() {
 		if c.stopped || s.Done {
 			return
 		}
+		if c.awaiting {
+			// The previous refresh went unanswered. Keep operating on
+			// the previous (queue, Rref) allocation, back off, and —
+			// past the deadline — degrade to DCTCP mode in the bottom
+			// queue (§3.3).
+			c.misses++
+			c.t.o.retries.Inc()
+			if c.started && !c.fallback {
+				c.t.o.reuse.Inc()
+			}
+			if !c.fallback && c.t.Cfg.FallbackAfter > 0 &&
+				s.Now().Sub(c.lastHeard) > c.t.Cfg.FallbackAfter {
+				c.enterFallback(s)
+			}
+		}
+		c.awaiting = true
 		c.client.Refresh(c.key(s), c.demand(s))
 		c.scheduleRefresh(s)
 	})
+}
+
+// enterFallback degrades the flow to self-adjusting DCTCP-style rate
+// control in the lowest priority queue: with the control plane
+// unreachable the flow cannot trust any allocation, but sending at the
+// bottom priority cannot hurt arbitrated traffic. A flow still gated
+// on its first arbitration response starts sending now.
+func (c *control) enterFallback(s *transport.Sender) {
+	c.fallback = true
+	c.t.o.fallbacks.Inc()
+	c.started = true
+	c.guarding = false
+	c.probeMode = false
+	c.probeTimer.Stop()
+	c.activePrio = c.bottomQueue()
+	c.targetPrio = c.activePrio
+	s.Prio = c.activePrio
+	s.Cwnd = 1
+	c.isInterQueue = false
+	c.updateHold(s)
+	s.Kick()
 }
 
 // onArbitration reacts to a (queue, Rref) update from the control
@@ -177,6 +271,16 @@ func (c *control) scheduleRefresh(s *transport.Sender) {
 func (c *control) onArbitration(s *transport.Sender) {
 	if c.stopped || s.Done {
 		return
+	}
+	c.awaiting = false
+	c.misses = 0
+	c.lastHeard = s.Now()
+	resync := c.fallback
+	if resync {
+		// The control plane is answering again: leave DCTCP fallback
+		// and re-adopt the fresh allocation in full.
+		c.fallback = false
+		c.t.o.resyncs.Inc()
 	}
 	d := c.client.Combined()
 	c.rref = d.Rref
@@ -186,6 +290,13 @@ func (c *control) onArbitration(s *transport.Sender) {
 			return
 		}
 		c.started = true
+		c.adopt(s, d.Queue)
+		c.applyWindow(s)
+		c.updateHold(s)
+		s.Kick()
+		return
+	}
+	if resync {
 		c.adopt(s, d.Queue)
 		c.applyWindow(s)
 		c.updateHold(s)
@@ -331,6 +442,13 @@ func (c *control) OnAck(s *transport.Sender, ack *pkt.Packet, newly int32, _ sim
 		return
 	}
 
+	if c.fallback {
+		// DCTCP-mode fallback: self-adjusting additive growth, no
+		// arbitrated pin to return to.
+		c.grow(s, newly)
+		return
+	}
+
 	switch {
 	case c.activePrio == 0:
 		if c.t.Cfg.UseRefRate {
@@ -391,6 +509,12 @@ func (c *control) OnTimeout(s *transport.Sender) bool {
 		// queued. Stop guarding — there is nothing left to reorder.
 		c.settle(s)
 	}
+	if c.fallback {
+		// Fallback flows behave like DCTCP: retransmit with a reset
+		// window. Probing needs a live arbitrated queue assignment.
+		s.Cwnd = 1
+		return false
+	}
 	if c.activePrio > 0 && c.t.Cfg.Probing {
 		s.SendProbe(s.FirstMissing())
 		return true
@@ -414,9 +538,11 @@ func (c *control) FillData(s *transport.Sender, p *pkt.Packet) {
 	p.Rank = s.Remaining()
 }
 
-// MinRTO implements transport.Control.
+// MinRTO implements transport.Control. Fallback flows take the short
+// floor: their losses are real losses, not parking behind higher
+// classes, and a 200 ms floor would stall them for the whole outage.
 func (c *control) MinRTO(*transport.Sender) sim.Duration {
-	if c.activePrio == 0 {
+	if c.fallback || c.activePrio == 0 {
 		return c.t.Cfg.MinRTOTop
 	}
 	return c.t.Cfg.MinRTOLow

@@ -257,11 +257,14 @@ func TestCDFOutputs(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Figures) != 19 {
-		t.Fatalf("registry has %d figures, want 19", len(Figures))
+	if len(Figures) != 20 {
+		t.Fatalf("registry has %d figures, want 20", len(Figures))
 	}
 	if _, ok := Lookup("9a"); !ok {
 		t.Fatal("figure 9a missing")
+	}
+	if _, ok := Lookup("robust"); !ok {
+		t.Fatal("figure robust missing")
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Fatal("bogus figure should not resolve")

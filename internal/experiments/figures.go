@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"pase/internal/faults"
 	"pase/internal/metrics"
 	"pase/internal/obs"
 	"pase/internal/sim"
@@ -41,6 +42,9 @@ type Opts struct {
 	// completes, possibly from a worker goroutine — it must be safe
 	// for concurrent use.
 	Progress func(done, total int)
+	// Faults applies a fault-injection plan to every point that does
+	// not carry its own. Nil (the default) runs fault-free.
+	Faults *faults.Plan
 }
 
 func (o Opts) seeds() int {
@@ -204,6 +208,7 @@ var Figures = []Figure{
 	{ID: "probing", Title: "Probing ablation at high load (intra-rack all-to-all)", Run: figProbing},
 	{ID: "task", Title: "Extension: task-aware arbitration (Baraat-style FIFO across tasks, §3.1.1)", Run: figTask},
 	{ID: "leafspine", Title: "Extension: PASE on a multipath leaf-spine fabric with per-flow ECMP", Run: figLeafSpine},
+	{ID: "robust", Title: "Robustness: AFCT vs control-plane failure severity, PASE vs DCTCP baseline", Run: figRobust},
 }
 
 // Lookup returns the figure with the given ID.
@@ -639,4 +644,92 @@ func fig3(o Opts) *Result {
 	return res
 }
 
-var _ = sim.Millisecond
+// figRobust is the robustness experiment added with the fault-injection
+// subsystem: AFCT at a fixed 70% left-right load as the control plane
+// degrades. Two failure axes share the X axis (severity in percent):
+// the fraction of arbitration requests/responses dropped, and the
+// fraction of each 10 ms window the arbitrators spend crashed. A
+// fault-free DCTCP run provides the floor — PASE endpoints fall back to
+// DCTCP-mode when the control plane goes quiet, so the curves should
+// degrade toward (not through) that baseline.
+func figRobust(o Opts) *Result {
+	const seeds = 3
+	const load = 0.7
+	const crashPeriod = 10 * sim.Millisecond
+	rates := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95}
+
+	base := func(seed uint64) PointConfig {
+		return PointConfig{Protocol: PASE, Scenario: LeftRight,
+			Load: load, Seed: o.Seed + seed, NumFlows: o.NumFlows}
+	}
+	var cfgs []PointConfig
+	// Arm 1: control-plane message loss.
+	for _, r := range rates {
+		for seed := uint64(0); seed < seeds; seed++ {
+			cfg := base(seed)
+			if r > 0 {
+				cfg.Faults = &faults.Plan{Seed: o.Seed,
+					Ctrl: []faults.CtrlFault{{Drop: r}}}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	// Arm 2: periodic arbitrator crashes; severity = fraction of each
+	// period the arbitrators are down (soft state wiped every cycle).
+	for _, r := range rates {
+		for seed := uint64(0); seed < seeds; seed++ {
+			cfg := base(seed)
+			if r > 0 {
+				cfg.Faults = &faults.Plan{Seed: o.Seed,
+					Crashes: []faults.CrashFault{{Link: -1, At: crashPeriod,
+						For: sim.Duration(r * float64(crashPeriod)), Every: crashPeriod}}}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	// Baseline: DCTCP never consults the control plane, so one fault-free
+	// run per seed is replicated across the axis.
+	for seed := uint64(0); seed < seeds; seed++ {
+		cfg := base(seed)
+		cfg.Protocol = DCTCP
+		cfgs = append(cfgs, cfg)
+	}
+
+	ys, ex := mapPoints(cfgs, o, afctMS)
+	avg := func(idx int) float64 {
+		var sum float64
+		for s := 0; s < seeds; s++ {
+			sum += ys[idx+s]
+		}
+		return sum / seeds
+	}
+	xs := make([]float64, len(rates))
+	for i, r := range rates {
+		xs[i] = r * 100
+	}
+	series := []Series{
+		{Name: "PASE (ctrl loss)", X: xs},
+		{Name: "PASE (arb downtime)", X: xs},
+		{Name: "DCTCP (no faults)", X: xs},
+	}
+	for i := range rates {
+		series[0].Y = append(series[0].Y, avg(i*seeds))
+		series[1].Y = append(series[1].Y, avg((len(rates)+i)*seeds))
+	}
+	dctcp := avg(2 * len(rates) * seeds)
+	for range rates {
+		series[2].Y = append(series[2].Y, dctcp)
+	}
+	res := &Result{
+		ID: "robust", Title: "Graceful degradation under control-plane faults (left-right, 70% load)",
+		XLabel: "Failure severity (%)", YLabel: "AFCT (ms)",
+		Series: series,
+		Notes: []string{
+			fmt.Sprintf("each point averages %d seeds", seeds),
+			"ctrl loss: fraction of arbitration requests/responses dropped",
+			fmt.Sprintf("arb downtime: fraction of each %v window all arbitrators are crashed", crashPeriod.Std()),
+		},
+	}
+	ex.fill(res)
+	return res
+}

@@ -44,6 +44,9 @@ type ManifestParams struct {
 	Seeds       int       `json:"seeds,omitempty"`
 	Loads       []float64 `json:"loads,omitempty"`
 	Parallelism int       `json:"parallelism,omitempty"`
+	// Faults is the canonical fault-plan spec applied to the run
+	// (empty when no faults were injected).
+	Faults string `json:"faults,omitempty"`
 }
 
 // GitRev returns the VCS revision baked into the binary by the Go
@@ -82,6 +85,9 @@ func NewManifest(tool string, res *Result, o Opts, started time.Time, wall time.
 			Loads:       o.Loads,
 			Parallelism: o.Parallelism,
 		},
+	}
+	if !o.Faults.Empty() {
+		m.Params.Faults = o.Faults.String()
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		m.GoVersion = bi.GoVersion

@@ -6,6 +6,8 @@ import (
 	"pase/internal/check"
 	"pase/internal/core"
 	"pase/internal/core/arbitration"
+	"pase/internal/core/endhost"
+	"pase/internal/faults"
 	"pase/internal/metrics"
 	"pase/internal/netem"
 	"pase/internal/obs"
@@ -111,6 +113,10 @@ type PointConfig struct {
 	Check bool
 	// Trace selects flow-event and queue-occupancy tracing.
 	Trace TraceConfig
+	// Faults is the run's fault-injection plan. Nil or empty leaves the
+	// run byte-identical to a fault-free one (the injector is never
+	// built and the fault RNG stream is never created).
+	Faults *faults.Plan
 }
 
 // PointResult is what one simulation yields.
@@ -334,12 +340,26 @@ func RunPoint(cfg PointConfig) PointResult {
 			}
 		}
 	}
+	var inj *faults.Injector
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(); err != nil {
+			panic(err)
+		}
+		inj = faults.NewInjector(eng, cfg.Faults, cfg.Seed)
+		inj.Instrument(reg)
+		for _, l := range net.Links {
+			inj.BindPort(l.ID, l.Port)
+		}
+		inj.Arm()
+	}
+
 	d := transport.NewDriver(net, nil)
 	d.Instrument(reg)
 	d.AttachCheck(chk)
 
 	var pdqSys *pdq.System
 	var paseSys *arbitration.System
+	var paseT *endhost.Transport
 	switch cfg.Protocol {
 	case DCTCP:
 		c := DefaultDCTCP()
@@ -378,12 +398,18 @@ func RunPoint(cfg PointConfig) PointResult {
 		ec.Probing = !cfg.PASE.DisableProbing
 		ec.ReorderGuard = !cfg.PASE.NoReorderGuard
 		ec.TaskAware = cfg.PASE.TaskAware
-		paseSys, _ = core.Attach(d, p, ec)
+		paseSys, paseT = core.Attach(d, p, ec)
+		paseT.Instrument(reg)
 		if chk != nil {
 			paseSys.AttachCheck(chk)
 		}
 	default:
 		panic(fmt.Sprintf("experiments: unknown protocol %q", cfg.Protocol))
+	}
+	if inj != nil && paseSys != nil {
+		paseSys.Faults = inj
+		inj.OnCrash = paseSys.Crash
+		inj.OnRestart = paseSys.Restore
 	}
 
 	// Tracing hooks chain after protocol attach: PDQ and PASE claim
@@ -523,13 +549,13 @@ func scrapeRun(reg *obs.Registry, eng *sim.Engine, net *topology.Network,
 		prefix := "net/" + l.Level.String() + "/" + dir + "/"
 		s := l.Port.Queue().Stats()
 		reg.Counter(prefix + "links").Inc()
-		reg.Counter(prefix+"enq").Add(s.Enqueued)
-		reg.Counter(prefix+"drop").Add(s.Dropped)
-		reg.Counter(prefix+"drop_bytes").Add(s.DroppedBytes)
-		reg.Counter(prefix+"mark").Add(s.Marked)
-		reg.Counter(prefix+"tx_pkts").Add(l.Port.TxPackets)
-		reg.Counter(prefix+"tx_bytes").Add(l.Port.TxBytes)
-		reg.Counter(prefix+"busy_ns").Add(int64(l.Port.BusyTime()))
+		reg.Counter(prefix + "enq").Add(s.Enqueued)
+		reg.Counter(prefix + "drop").Add(s.Dropped)
+		reg.Counter(prefix + "drop_bytes").Add(s.DroppedBytes)
+		reg.Counter(prefix + "mark").Add(s.Marked)
+		reg.Counter(prefix + "tx_pkts").Add(l.Port.TxPackets)
+		reg.Counter(prefix + "tx_bytes").Add(l.Port.TxBytes)
+		reg.Counter(prefix + "busy_ns").Add(int64(l.Port.BusyTime()))
 	}
 	if paseSys != nil {
 		reg.Counter("arb/messages").Add(paseSys.Stats.Messages)

@@ -1,0 +1,40 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzFaultPlan throws arbitrary specs at the -faults parser. Two
+// properties must hold for every input: the parser never panics, and
+// any spec it accepts round-trips — Plan.String() re-parses to a plan
+// with the identical canonical form, and the result passes Validate.
+func FuzzFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=42",
+		"linkdown:link=3,at=10ms,for=5ms,every=50ms",
+		"loss:link=*,class=data,rate=0.01,corrupt=0.002,from=1ms,to=9ms",
+		"ctrl:drop=0.2,delay=100us",
+		"crash:link=*,at=20ms,for=2ms,every=20ms",
+		"seed=7; loss:rate=1; ctrl:drop=1; linkdown:link=0,at=0s,for=1ms",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a plan Validate rejects: %v", spec, err)
+		}
+		s1 := p.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-Parse(%q) failed: %v", spec, s1, err)
+		}
+		if s2 := p2.String(); s1 != s2 {
+			t.Fatalf("canonical form unstable for %q:\n  first  %q\n  second %q", spec, s1, s2)
+		}
+	})
+}

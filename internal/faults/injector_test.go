@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/obs"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// collector is a minimal netem.Node that records arrival times.
+type collector struct {
+	id   pkt.NodeID
+	eng  *sim.Engine
+	got  []*pkt.Packet
+	when []sim.Time
+}
+
+func (c *collector) ID() pkt.NodeID { return c.id }
+func (c *collector) Receive(p *pkt.Packet, _ *netem.Port) {
+	c.got = append(c.got, p)
+	c.when = append(c.when, c.eng.Now())
+}
+
+// rig builds a one-link network: src port -> dst collector at 1 Gbps
+// (12µs per 1500B packet) with zero propagation delay.
+func rig(eng *sim.Engine) (*netem.Port, *collector) {
+	src := &collector{id: 1, eng: eng}
+	dst := &collector{id: 2, eng: eng}
+	a := netem.NewPort(eng, src, netem.NewDropTail(1000), netem.Gbps, 0)
+	b := netem.NewPort(eng, dst, netem.NewDropTail(1000), netem.Gbps, 0)
+	netem.Connect(a, b)
+	return a, dst
+}
+
+func TestInjectorLinkOutageDelaysDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	port, dst := rig(eng)
+	plan := &Plan{Links: []LinkFault{{Link: 0, At: 0, For: 100 * sim.Microsecond}}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(eng, plan, 1)
+	reg := obs.NewRegistry()
+	in.Instrument(reg)
+	in.BindPort(0, port)
+	in.Arm()
+	// Send mid-outage: the packet must wait for the link to come back
+	// at t=100µs, then serialize for 12µs.
+	eng.Schedule(10*sim.Microsecond, func() {
+		port.Send(&pkt.Packet{Size: 1500, Type: pkt.Data, Dst: 2})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(dst.got))
+	}
+	want := sim.Time(112 * sim.Microsecond)
+	if dst.when[0] != want {
+		t.Fatalf("arrival at %v, want %v", dst.when[0], want)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["faults/link_down"] != 1 || snap.Counters["faults/link_up"] != 1 {
+		t.Fatalf("outage counters = %v", snap.Counters)
+	}
+}
+
+func TestInjectorRepeatingOutage(t *testing.T) {
+	eng := sim.NewEngine()
+	port, _ := rig(eng)
+	plan := &Plan{Links: []LinkFault{{
+		Link: -1, At: 0, For: 50 * sim.Microsecond, Every: 100 * sim.Microsecond}}}
+	in := NewInjector(eng, plan, 1)
+	reg := obs.NewRegistry()
+	in.Instrument(reg)
+	in.BindPort(0, port)
+	in.Arm()
+	// Stop the clock after 5 periods; each one downs and restores once.
+	eng.At(sim.Time(450*sim.Microsecond), func() { eng.Stop() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if down := snap.Counters["faults/link_down"]; down != 5 {
+		t.Fatalf("link_down = %d, want 5", down)
+	}
+}
+
+func TestInjectorClassedLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	port, dst := rig(eng)
+	plan := &Plan{Loss: []LossFault{{Link: -1, Class: DataClass, Rate: 1}}}
+	in := NewInjector(eng, plan, 1)
+	reg := obs.NewRegistry()
+	in.Instrument(reg)
+	in.BindPort(0, port)
+	in.Arm()
+	port.Send(&pkt.Packet{Size: 1500, Type: pkt.Data, Dst: 2})
+	port.Send(&pkt.Packet{Size: 40, Type: pkt.Ack, Dst: 2})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The data packet burns bandwidth but never arrives; the ACK does.
+	if len(dst.got) != 1 || dst.got[0].Type != pkt.Ack {
+		t.Fatalf("delivered %d packets (first type %v), want just the ACK", len(dst.got), dst.got[0].Type)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["faults/drop_data"] != 1 || snap.Counters["faults/drop_ack"] != 0 {
+		t.Fatalf("drop counters = %v", snap.Counters)
+	}
+}
+
+func TestInjectorLossWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	port, dst := rig(eng)
+	plan := &Plan{Loss: []LossFault{{
+		Link: -1, Rate: 1, From: 100 * sim.Microsecond, To: 200 * sim.Microsecond}}}
+	in := NewInjector(eng, plan, 1)
+	in.BindPort(0, port)
+	in.Arm()
+	for _, at := range []sim.Duration{0, 150 * sim.Microsecond, 300 * sim.Microsecond} {
+		at := at
+		eng.Schedule(at, func() { port.Send(&pkt.Packet{Size: 1500, Type: pkt.Data, Dst: 2}) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the packet transmitted inside [100µs, 200µs) is lost.
+	if len(dst.got) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(dst.got))
+	}
+}
+
+func TestInjectorCtrlFaults(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, &Plan{Ctrl: []CtrlFault{{Drop: 1, Delay: 30 * sim.Microsecond}}}, 1)
+	reg := obs.NewRegistry()
+	in.Instrument(reg)
+	if !in.DropRequest() || !in.DropResponse() {
+		t.Fatal("drop=1 must drop both legs")
+	}
+	if d := in.CtrlExtraDelay(); d != 30*sim.Microsecond {
+		t.Fatalf("extra delay = %v, want 30µs", d)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["faults/ctrl_req_drop"] != 1 || snap.Counters["faults/ctrl_resp_drop"] != 1 ||
+		snap.Counters["faults/ctrl_delayed"] != 1 {
+		t.Fatalf("ctrl counters = %v", snap.Counters)
+	}
+
+	// Outside the rule's window nothing fires and no RNG draw happens.
+	windowed := NewInjector(eng, &Plan{Ctrl: []CtrlFault{{
+		Drop: 1, From: sim.Millisecond, To: 2 * sim.Millisecond}}}, 1)
+	if windowed.DropRequest() || windowed.CtrlExtraDelay() != 0 {
+		t.Fatal("rule fired outside its window")
+	}
+}
+
+func TestInjectorDeterministicStream(t *testing.T) {
+	draw := func(planSeed, runSeed uint64) []bool {
+		eng := sim.NewEngine()
+		in := NewInjector(eng, &Plan{Seed: planSeed,
+			Ctrl: []CtrlFault{{Drop: 0.5}}}, runSeed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.DropRequest()
+		}
+		return out
+	}
+	same1, same2 := draw(3, 7), draw(3, 7)
+	for i := range same1 {
+		if same1[i] != same2[i] {
+			t.Fatalf("draw %d differs between identical (planSeed, runSeed)", i)
+		}
+	}
+	differs := func(a, b []bool) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(same1, draw(4, 7)) {
+		t.Fatal("changing the plan seed never changed a draw")
+	}
+	if !differs(same1, draw(3, 8)) {
+		t.Fatal("changing the run seed never changed a draw")
+	}
+}

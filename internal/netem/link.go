@@ -22,11 +22,24 @@ type Port struct {
 
 	busy bool
 
+	// Faults, when set, lets a fault injector pause the transmitter
+	// (link down) and discard transmitted packets (loss/corruption).
+	Faults PortFaults
+
 	// TxPackets / TxBytes count what was actually transmitted.
 	TxPackets int64
 	TxBytes   int64
 	// busyTime accumulates transmitter-active time for utilization.
 	busyTime sim.Duration
+}
+
+// PortFaults is the hook a fault injector installs on a port. Blocked
+// pauses the transmitter before it dequeues (packets keep queueing and
+// drain when the outage ends — see Kick); Lose is consulted after a
+// packet consumed its serialization time and discards it in flight.
+type PortFaults interface {
+	Blocked(pt *Port) bool
+	Lose(pt *Port, p *pkt.Packet) bool
 }
 
 // NewPort builds a port owned by node, draining q at rate with the
@@ -74,6 +87,9 @@ func (pt *Port) pump() {
 	if pt.busy {
 		return
 	}
+	if pt.Faults != nil && pt.Faults.Blocked(pt) {
+		return
+	}
 	p := pt.queue.Dequeue()
 	if p == nil {
 		return
@@ -89,10 +105,19 @@ func (pt *Port) pump() {
 		pt.busy = false
 		pt.pump()
 	})
+	if pt.Faults != nil && pt.Faults.Lose(pt, p) {
+		// Dropped or corrupted on the wire: bandwidth was consumed but
+		// the packet never reaches the peer.
+		return
+	}
 	pt.eng.Schedule(ser+pt.delay, func() {
 		pt.peer.owner.Receive(p, pt.peer)
 	})
 }
+
+// Kick restarts a paused transmitter; the fault injector calls it when
+// a link outage ends so queued packets resume draining.
+func (pt *Port) Kick() { pt.pump() }
 
 // BusyTime returns the accumulated transmitter-active time; divided by
 // elapsed simulated time it gives the port's utilization.

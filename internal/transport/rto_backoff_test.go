@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"testing"
+
+	"pase/internal/pkt"
+)
+
+// TestRTOBackoffCapAndReset drives the sender through timeout and
+// delivery sequences and checks the backoff counter: growth is capped
+// at maxRTOBackoff, and any successful delivery — cumulative or
+// selective — resets it, while duplicate ACKs leave it alone.
+func TestRTOBackoffCapAndReset(t *testing.T) {
+	type step struct {
+		timeouts    int         // fire this many consecutive timeouts
+		ack         *pkt.Packet // then deliver this ACK (nil = none)
+		wantBackoff int
+	}
+	tests := []struct {
+		name  string
+		steps []step
+	}{
+		{"growth capped", []step{
+			{timeouts: 3, wantBackoff: 3},
+			{timeouts: 20, wantBackoff: maxRTOBackoff},
+		}},
+		{"reset on cumulative advance", []step{
+			{timeouts: 3, wantBackoff: 3},
+			{ack: &pkt.Packet{Type: pkt.Ack, SackSeq: 0, CumAck: 1}, wantBackoff: 0},
+		}},
+		{"reset on selective delivery", []step{
+			{timeouts: 4, wantBackoff: 4},
+			// Segment 2 lands but the head (0) is still missing: the
+			// path is alive, so the backoff must still clear.
+			{ack: &pkt.Packet{Type: pkt.Ack, SackSeq: 2, CumAck: 0}, wantBackoff: 0},
+		}},
+		{"duplicate ACK does not reset", []step{
+			{timeouts: 2, wantBackoff: 2},
+			{ack: &pkt.Packet{Type: pkt.Ack, SackSeq: -1, CumAck: 0}, wantBackoff: 2},
+		}},
+		{"re-grows after reset", []step{
+			{timeouts: 5, wantBackoff: 5},
+			{ack: &pkt.Packet{Type: pkt.Ack, SackSeq: 1, CumAck: 0}, wantBackoff: 0},
+			{timeouts: 2, wantBackoff: 2},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, d, _ := testRig(t)
+			s := start(t, d, 10*pkt.MSS)
+			for i, st := range tc.steps {
+				for j := 0; j < st.timeouts; j++ {
+					s.onTimeout()
+				}
+				if st.ack != nil {
+					s.onAck(st.ack)
+				}
+				if s.backoff != st.wantBackoff {
+					t.Fatalf("step %d: backoff = %d, want %d", i, s.backoff, st.wantBackoff)
+				}
+			}
+		})
+	}
+}

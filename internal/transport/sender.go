@@ -344,9 +344,15 @@ func (s *Sender) onAck(p *pkt.Packet) {
 		return
 	}
 
+	if newly > 0 {
+		// Any fresh delivery — cumulative or selective — proves the
+		// path is passing packets again: stop compounding the timeout.
+		// A long outage otherwise leaves the backoff pinned high and
+		// the first post-recovery loss waits out a multiplied RTO.
+		s.backoff = 0
+	}
 	if newly > 0 && advanced {
 		s.dupAcks = 0
-		s.backoff = 0
 		s.resetRTO()
 	} else if !advanced {
 		s.dupAcks++

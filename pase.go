@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"pase/internal/experiments"
+	"pase/internal/faults"
 	"pase/internal/obs"
 	"pase/internal/sim"
 	"pase/internal/trace"
@@ -144,6 +145,24 @@ type PASEOptions struct {
 	TaskAware bool
 }
 
+// FaultPlan is a deterministic fault-injection schedule: link
+// down/up windows, probabilistic per-class packet loss and
+// corruption, arbitration message drop/delay, and arbitrator
+// crash/restart cycles. Build one directly or parse the -faults
+// CLI syntax with ParseFaults. A nil or empty plan injects nothing
+// and leaves runs byte-identical to fault-free ones.
+type FaultPlan = faults.Plan
+
+// ParseFaults parses the -faults CLI syntax into a FaultPlan:
+// semicolon-separated clauses such as
+//
+//	seed=7; linkdown:link=3,at=10ms,for=5ms; loss:link=*,class=data,rate=0.01;
+//	ctrl:drop=0.2,delay=100us; crash:link=*,at=20ms,for=2ms,every=20ms
+//
+// The returned plan is validated; the error names the offending
+// clause.
+func ParseFaults(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
+
 // SimConfig describes one simulation run.
 type SimConfig struct {
 	Protocol Protocol
@@ -181,6 +200,11 @@ type SimConfig struct {
 	// run completes with (done, total). It may be invoked concurrently
 	// from worker goroutines.
 	Progress func(done, total int)
+	// Faults injects the given fault plan into the run (nil or empty =
+	// no faults, byte-identical to a fault-free run). Fault decisions
+	// draw from their own seeded RNG stream, so adding a zero-rate plan
+	// never perturbs workload or transport randomness.
+	Faults *FaultPlan
 	// PASE ablation switches (PASE protocol only).
 	PASE PASEOptions
 }
@@ -294,6 +318,7 @@ func pointConfig(cfg SimConfig) experiments.PointConfig {
 		NumFlows: cfg.NumFlows,
 		Obs:      cfg.Obs,
 		Check:    cfg.Check,
+		Faults:   cfg.Faults,
 		Trace: experiments.TraceConfig{
 			FlowLog:     cfg.FlowTrace,
 			QueueSample: sim.Duration(cfg.QueueTrace),
@@ -448,13 +473,17 @@ type FigureOpts struct {
 	// concurrently from worker goroutines; the callback must be safe
 	// for that.
 	Progress func(done, total int)
+	// Faults applies a fault-injection plan to every simulation point
+	// of the figure that does not already carry its own (nil or empty
+	// = no faults, byte-identical output).
+	Faults *FaultPlan
 }
 
 // expOpts maps the public options onto the experiment runner's.
 func expOpts(o FigureOpts) experiments.Opts {
 	return experiments.Opts{NumFlows: o.NumFlows, Seed: o.Seed, Seeds: o.Seeds,
 		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Check: o.Check,
-		Progress: o.Progress}
+		Faults: o.Faults, Progress: o.Progress}
 }
 
 // FigureSeries is one curve of a regenerated figure.
@@ -547,6 +576,7 @@ func NewSimManifest(tool string, cfg SimConfig, reps []*Report, parallelism int,
 	m := experiments.NewManifest(tool, nil, experiments.Opts{
 		NumFlows: cfg.NumFlows, Seed: cfg.Seed, Seeds: len(reps),
 		Loads: []float64{cfg.Load}, Parallelism: parallelism,
+		Faults: cfg.Faults,
 	}, started, wall)
 	m.Title = fmt.Sprintf("%s / %s @ load %g", cfg.Protocol, cfg.Scenario, cfg.Load)
 	snaps := make([]*Snapshot, len(reps))
