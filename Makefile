@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check-test chaos-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
+.PHONY: build vet test race check-test chaos-smoke scale-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -31,15 +31,23 @@ check-test:
 chaos-smoke:
 	PASE_CHECK=1 $(GO) test -run 'TestChaos' -count=1 -v ./internal/experiments/
 
+# The streaming scale sweep at 10^5 flows with invariants force-enabled
+# and a hard 256 MB Go-heap ceiling: a dedicated test process (so no
+# other test inflates the heap first) proving bounded-memory runs stay
+# bounded. See TestScaleSmoke.
+scale-smoke:
+	PASE_CHECK=1 PASE_SCALE_SMOKE=1 $(GO) test -run 'TestScaleSmoke' -count=1 -v ./internal/experiments/
+
 # Each fuzz target gets a short budget over its committed seed corpus
 # (testdata/fuzz/) — a CI-sized smoke that still explores beyond the
-# seeds. -fuzz accepts one target per invocation, hence four runs.
+# seeds. -fuzz accepts one target per invocation, hence one run each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPrioQueue$$' -fuzztime 10s ./internal/netem/
 	$(GO) test -run '^$$' -fuzz '^FuzzPfabricQueue$$' -fuzztime 10s ./internal/netem/
 	$(GO) test -run '^$$' -fuzz '^FuzzArbitrator$$' -fuzztime 10s ./internal/core/arbitration/
 	$(GO) test -run '^$$' -fuzz '^FuzzEmpiricalCDF$$' -fuzztime 10s ./internal/workload/
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime 10s ./internal/faults/
+	$(GO) test -run '^$$' -fuzz '^FuzzQuantileSketch$$' -fuzztime 10s ./internal/metrics/
 
 # One-iteration figure regenerations: catches perf cliffs and keeps
 # the bench harness compiling without paying full bench time. The
@@ -69,4 +77,4 @@ manifest-sample:
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race check-test chaos-smoke fuzz-smoke bench-smoke obs-bench
+ci: vet build test race check-test chaos-smoke scale-smoke fuzz-smoke bench-smoke obs-bench

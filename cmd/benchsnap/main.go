@@ -1,8 +1,9 @@
 // Command benchsnap records a performance snapshot of the evaluation
 // pipeline: engine micro-benchmark ns/op plus wall-clock and headline
-// metrics for a set of figures, written as BENCH_<date>.json. Commit
-// one snapshot per perf-relevant PR and the series becomes the perf
-// trajectory of the repository.
+// metrics for a set of figures, plus a streaming-vs-stored memory
+// comparison, written as BENCH_<date>.json. Commit one snapshot per
+// perf-relevant PR and the series becomes the perf trajectory of the
+// repository.
 //
 // Examples:
 //
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"pase"
+	"pase/internal/experiments"
 	"pase/internal/sim"
 )
 
@@ -41,6 +43,23 @@ type Snapshot struct {
 	// retransmissions — so perf regressions can be traced to workload
 	// shifts (more retx, deeper queues) rather than guessed at.
 	Obs *pase.Snapshot `json:"obs,omitempty"`
+	// Memory compares the stored collector against the streaming sink
+	// on one identical point, pinning the bounded-memory trajectory.
+	Memory *MemBench `json:"memory,omitempty"`
+}
+
+// MemBench is the streaming-vs-stored memory comparison: one point
+// (DCTCP, intra-rack, load 0.6) run twice, measuring bytes allocated
+// over the run and bytes still live after it (post-GC, result held).
+// Stored mode retains O(flows) records and senders; streaming retains
+// O(in-flight) plus a fixed-size quantile sketch, so the retained
+// column is the headline number.
+type MemBench struct {
+	Flows               int    `json:"flows"`
+	StoredAllocBytes    uint64 `json:"stored_alloc_bytes"`
+	StreamAllocBytes    uint64 `json:"stream_alloc_bytes"`
+	StoredRetainedBytes uint64 `json:"stored_retained_bytes"`
+	StreamRetainedBytes uint64 `json:"stream_retained_bytes"`
 }
 
 // EngineBench holds the in-process simulator micro-benchmarks.
@@ -65,6 +84,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		loads    = flag.String("loads", "0.5,0.8", "load sweep for the swept figures")
 		parallel = flag.Int("parallel", 0, "simulation points run concurrently (0 = one per CPU)")
+		memflows = flag.Int("memflows", 20_000, "flows for the streaming-vs-stored memory comparison (0 disables)")
 		out      = flag.String("out", "", "output file or directory (default BENCH_<date>.json in the working directory)")
 	)
 	flag.Parse()
@@ -120,6 +140,9 @@ func main() {
 	}
 	snap.TotalMS = float64(time.Since(start).Microseconds()) / 1000
 	snap.Obs = pase.MergeSnapshots(obsSnaps)
+	if *memflows > 0 {
+		snap.Memory = benchMemory(*memflows)
+	}
 
 	path := *out
 	switch {
@@ -142,6 +165,11 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d figures, %.0f ms total, engine schedule+fire %.1f ns/op)\n",
 		path, len(snap.Figures), snap.TotalMS, snap.Engine.ScheduleFireNsOp)
+	if m := snap.Memory; m != nil {
+		fmt.Printf("memory @ %d flows: stored %d KB retained / %d MB allocated, streaming %d KB retained / %d MB allocated\n",
+			m.Flows, m.StoredRetainedBytes>>10, m.StoredAllocBytes>>20,
+			m.StreamRetainedBytes>>10, m.StreamAllocBytes>>20)
+	}
 }
 
 // benchEngine measures the simulator hot path in-process: the
@@ -171,4 +199,35 @@ func benchEngine() EngineBench {
 	churn := float64(time.Since(start).Nanoseconds()) / iters
 
 	return EngineBench{ScheduleFireNsOp: fire, TimerChurnNsOp: churn}
+}
+
+// benchMemory runs the same simulation point with the stored collector
+// and the streaming sink, recording total allocation volume and the
+// live heap delta once the run settles (result still referenced, so
+// stored mode's per-flow records count against it).
+func benchMemory(flows int) *MemBench {
+	run := func(stream bool) (alloc, retained uint64) {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res := experiments.RunPoint(experiments.PointConfig{
+			Protocol: experiments.DCTCP, Scenario: experiments.IntraRack,
+			Load: 0.6, Seed: 1, NumFlows: flows, Stream: stream,
+		})
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		runtime.GC()
+		var settled runtime.MemStats
+		runtime.ReadMemStats(&settled)
+		alloc = after.TotalAlloc - before.TotalAlloc
+		if settled.HeapAlloc > before.HeapAlloc {
+			retained = settled.HeapAlloc - before.HeapAlloc
+		}
+		runtime.KeepAlive(res)
+		return alloc, retained
+	}
+	m := &MemBench{Flows: flows}
+	m.StoredAllocBytes, m.StoredRetainedBytes = run(false)
+	m.StreamAllocBytes, m.StreamRetainedBytes = run(true)
+	return m
 }

@@ -13,6 +13,8 @@
 //	paper -fig 10c -flows 4000
 //	paper -all -flows 1000
 //	paper -fig 9a -parallel 4 -cpuprofile cpu.out
+//	paper -fig 9a -stream
+//	paper -scale 1000000
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		figID     = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing, task, leafspine, robust)")
+		figID     = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing, task, leafspine, robust, scale)")
 		all       = flag.Bool("all", false, "regenerate every figure")
 		list      = flag.Bool("list", false, "list the available figures")
 		flows     = flag.Int("flows", 2000, "foreground flows per simulation point")
@@ -43,6 +45,8 @@ func main() {
 		obs       = flag.Bool("obs", true, "collect per-run observability and write fig<id>.manifest.json")
 		chkFlag   = flag.Bool("check", false, "run every point with the runtime invariant checker; exit 1 on any violation")
 		faultSpec = flag.String("faults", "", `fault-injection plan applied to every simulation point, e.g. "ctrl:drop=0.2"`)
+		stream    = flag.Bool("stream", false, "run every point on the bounded-memory streaming path (sketch quantiles)")
+		scale     = flag.Int("scale", 0, "shortcut for the scale figure: -fig scale -stream with this many flows at the sweep top")
 		progress  = flag.Bool("progress", true, "live progress meter on stderr")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -56,8 +60,13 @@ func main() {
 		return
 	}
 
+	if *scale > 0 {
+		*figID = "scale"
+		*flows = *scale
+		*stream = true
+	}
 	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds,
-		Parallelism: *parallel, Obs: *obs, Check: *chkFlag}
+		Parallelism: *parallel, Obs: *obs, Check: *chkFlag, Stream: *stream}
 	if *faultSpec != "" {
 		plan, err := pase.ParseFaults(*faultSpec)
 		if err != nil {

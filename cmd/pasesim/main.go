@@ -12,6 +12,7 @@
 //	pasesim -protocol PASE -scenario left-right -load 0.9 -local-only
 //	pasesim -protocol DCTCP -load 0.8 -flowlog flows.tsv -queuetrace q.tsv
 //	pasesim -protocol PASE -load 0.7 -obs -manifest run.json
+//	pasesim -protocol DCTCP -scenario leaf-spine -load 0.6 -scale 1000000
 package main
 
 import (
@@ -47,6 +48,8 @@ func main() {
 		queueInt  = flag.Duration("queueinterval", 100*time.Microsecond, "queue sampling interval for -queuetrace")
 		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
 		faultSpec = flag.String("faults", "", `fault-injection plan, e.g. "loss:link=*,class=data,rate=0.01; ctrl:drop=0.2"`)
+		stream    = flag.Bool("stream", false, "bounded-memory streaming run: iterator arrivals, recycled flow state, sketch quantiles")
+		scale     = flag.Int("scale", 0, "shortcut for a large streaming run: implies -stream with this many flows")
 		obs       = flag.Bool("obs", false, "collect run observability and write a manifest (see -manifest)")
 		chkFlag   = flag.Bool("check", false, "run with the runtime invariant checker; exit 1 on any violation")
 		manifest  = flag.String("manifest", "", "manifest output path (implies -obs; default pasesim.manifest.json when -obs is set)")
@@ -62,6 +65,13 @@ func main() {
 	if *obs && *manifest == "" {
 		*manifest = "pasesim.manifest.json"
 	}
+	if *scale > 0 {
+		*stream = true
+		*flows = *scale
+	}
+	if *stream && *outcomes != "" {
+		fail(fmt.Errorf("-outcomes needs per-flow records, which streaming runs do not keep; drop -stream/-scale"))
+	}
 
 	cfg := pase.SimConfig{
 		IncludeFlowLog: *outcomes != "",
@@ -72,6 +82,7 @@ func main() {
 		Seed:           *seed,
 		Obs:            *obs,
 		Check:          *chkFlag,
+		Stream:         *stream,
 		FlowTrace:      *flowLog != "",
 		PASE: pase.PASEOptions{
 			LocalOnly:      *localOnly,

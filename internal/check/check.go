@@ -30,14 +30,15 @@ import (
 
 // Invariant names, used as violation keys and snapshot counter names.
 const (
-	InvConservation = "conservation"  // enqueued = dequeued + queued (+ push-out drops)
-	InvQueueCap     = "queue_cap"     // occupancy never exceeds the configured limit
-	InvStrictPrio   = "strict_prio"   // band i never dequeues while band j < i is busy
-	InvECNMark      = "ecn_mark"      // CE set only at/above the marking threshold K
-	InvArbCapacity  = "arb_capacity"  // top-queue allocated rates sum <= link capacity
-	InvArbRate      = "arb_rate"      // reference rates are never negative
-	InvMonotonic    = "monotonic"     // event timestamps never run backwards
-	InvFCTBound     = "fct_bound"     // no flow beats its size/bottleneck lower bound
+	InvConservation = "conservation" // enqueued = dequeued + queued (+ push-out drops)
+	InvQueueCap     = "queue_cap"    // occupancy never exceeds the configured limit
+	InvStrictPrio   = "strict_prio"  // band i never dequeues while band j < i is busy
+	InvECNMark      = "ecn_mark"     // CE set only at/above the marking threshold K
+	InvArbCapacity  = "arb_capacity" // top-queue allocated rates sum <= link capacity
+	InvArbRate      = "arb_rate"     // reference rates are never negative
+	InvMonotonic    = "monotonic"    // event timestamps never run backwards
+	InvFCTBound     = "fct_bound"    // no flow beats its size/bottleneck lower bound
+	InvSketchBound  = "sketch_bound" // sketch quantiles ordered and inside the exact [min, max] envelope
 )
 
 // Violation is one recorded invariant breach with its context.
@@ -256,6 +257,24 @@ func (c *Checker) Monotonic(where string, prev, next int64) {
 	}
 	if next < prev {
 		c.Reportf(InvMonotonic, where, 0, "event at t=%d dispatched after clock reached %d", next, prev)
+	}
+}
+
+// SketchBounds verifies a streaming run's quantile-sketch summary:
+// every estimate must fall inside the exactly tracked [min, max]
+// sample envelope and the quantile function must be monotone
+// (p50 <= p99). A breach means the sketch's bucketing or rank walk is
+// broken, not the simulation.
+func (c *Checker) SketchBounds(where string, p50, p99, min, max int64) {
+	if c == nil {
+		return
+	}
+	if p50 < min || p50 > max || p99 < min || p99 > max {
+		c.Reportf(InvSketchBound, where, 0,
+			"quantiles p50=%d p99=%d outside observed [%d, %d]", p50, p99, min, max)
+	}
+	if p99 < p50 {
+		c.Reportf(InvSketchBound, where, 0, "p99 %d below p50 %d", p99, p50)
 	}
 }
 

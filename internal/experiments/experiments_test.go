@@ -257,8 +257,8 @@ func TestCDFOutputs(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Figures) != 20 {
-		t.Fatalf("registry has %d figures, want 20", len(Figures))
+	if len(Figures) != 21 {
+		t.Fatalf("registry has %d figures, want 21", len(Figures))
 	}
 	if _, ok := Lookup("9a"); !ok {
 		t.Fatal("figure 9a missing")

@@ -45,6 +45,14 @@ type Opts struct {
 	// Faults applies a fault-injection plan to every point that does
 	// not carry its own. Nil (the default) runs fault-free.
 	Faults *faults.Plan
+	// Stream runs every point through the bounded-memory streaming
+	// path (workload iterator + quantile-sketch collector). Headline
+	// sweep metrics (AFCT, app throughput, loss) are identical to
+	// stored runs; P50/P99 and CDFs are within SketchEps.
+	Stream bool
+	// SketchEps overrides the streaming sketch's relative error bound
+	// (0 = metrics.DefaultSketchEps).
+	SketchEps float64
 }
 
 func (o Opts) seeds() int {
@@ -209,6 +217,7 @@ var Figures = []Figure{
 	{ID: "task", Title: "Extension: task-aware arbitration (Baraat-style FIFO across tasks, §3.1.1)", Run: figTask},
 	{ID: "leafspine", Title: "Extension: PASE on a multipath leaf-spine fabric with per-flow ECMP", Run: figLeafSpine},
 	{ID: "robust", Title: "Robustness: AFCT vs control-plane failure severity, PASE vs DCTCP baseline", Run: figRobust},
+	{ID: "scale", Title: "Extension: streaming million-flow scale sweep (leaf-spine)", Run: figScale},
 }
 
 // Lookup returns the figure with the given ID.
@@ -616,6 +625,76 @@ func figLeafSpine(o Opts) *Result {
 	vs := []variant{proto(PASE, LeafSpine), proto(DCTCP, LeafSpine), proto(PFabric, LeafSpine)}
 	return sweepResult("leafspine", "Leaf-spine fabric with per-flow ECMP (extension)",
 		"Offered load (%)", "AFCT (ms)", vs, o.loads([]float64{0.2, 0.4, 0.6, 0.8}), o, afctMS)
+}
+
+// figScale sweeps the flow count two decades up to one million on the
+// leaf-spine fabric, PASE vs DCTCP, with every point on the streaming
+// path: arrivals come from the workload iterator, flow state is
+// recycled, and FCT quantiles come from the bounded-memory sketch. The
+// point of the figure is that the tail (p99) stays flat as the run
+// grows — and that the simulator's memory does not grow with it (run
+// manifests record peak RSS alongside the curve).
+//
+// o.NumFlows sets the top of the sweep (default one million); the two
+// lower points are top/10 and top/100. o.Loads[0] (default 0.6) fixes
+// the offered load.
+func figScale(o Opts) *Result {
+	top := o.NumFlows
+	if top <= 0 {
+		top = 1_000_000
+	}
+	counts := []int{top / 100, top / 10, top}
+	for i := range counts {
+		if counts[i] < 10 {
+			counts[i] = 10
+		}
+	}
+	load := 0.6
+	if len(o.Loads) > 0 {
+		load = o.Loads[0]
+	}
+	protos := []Protocol{PASE, DCTCP}
+	cfgs := make([]PointConfig, 0, len(protos)*len(counts))
+	for _, p := range protos {
+		for _, n := range counts {
+			cfgs = append(cfgs, PointConfig{Protocol: p, Scenario: LeafSpine,
+				Load: load, Seed: o.Seed, NumFlows: n,
+				Stream: true, SketchEps: o.SketchEps})
+		}
+	}
+	ex := newPointExtras(len(cfgs))
+	rs := make([]PointResult, len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
+		rs[i] = r
+		ex.observe(i, r)
+	})
+	res := &Result{
+		ID: "scale", Title: "Streaming scale sweep (leaf-spine, extension)",
+		XLabel: "Flows per point", YLabel: "FCT (ms)",
+	}
+	idx := 0
+	for _, p := range protos {
+		afct := Series{Name: string(p) + " AFCT"}
+		p99 := Series{Name: string(p) + " p99"}
+		for _, n := range counts {
+			r := rs[idx]
+			idx++
+			afct.X = append(afct.X, float64(n))
+			afct.Y = append(afct.Y, r.Summary.AFCT.Millis())
+			p99.X = append(p99.X, float64(n))
+			p99.Y = append(p99.Y, r.Summary.P99.Millis())
+		}
+		res.Series = append(res.Series, afct, p99)
+	}
+	ex.fill(res)
+	eps := o.SketchEps
+	if eps == 0 {
+		eps = metrics.DefaultSketchEps
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("offered load %.0f%%; streaming collector, quantile sketch eps=%g", load*100, eps),
+		"memory is O(in-flight flows): see the run manifest's peak_rss_bytes")
+	return res
 }
 
 // fig3 is the toy example of Figure 3: three flows, two links.

@@ -3,7 +3,11 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"os"
+	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
 
 	"pase/internal/obs"
@@ -31,6 +35,14 @@ type Manifest struct {
 	Retx     int64 `json:"retx"`
 	Timeouts int64 `json:"timeouts"`
 
+	// PeakRSSBytes is the process's high-water resident set
+	// (VmHWM from /proc/self/status; 0 where unavailable) and
+	// HeapSysBytes the Go heap's footprint at manifest time. Together
+	// they pin the memory cost of a run — the number the streaming
+	// scale figure exists to keep flat.
+	PeakRSSBytes int64  `json:"peak_rss_bytes,omitempty"`
+	HeapSysBytes uint64 `json:"heap_sys_bytes,omitempty"`
+
 	// Snapshot is the deterministically merged observability of every
 	// simulation point (input-order merge; identical bytes at every
 	// parallelism setting).
@@ -47,6 +59,11 @@ type ManifestParams struct {
 	// Faults is the canonical fault-plan spec applied to the run
 	// (empty when no faults were injected).
 	Faults string `json:"faults,omitempty"`
+	// Stream records that the run used the bounded-memory streaming
+	// path; SketchEps is the quantile sketch's relative error bound
+	// (0 = metrics.DefaultSketchEps).
+	Stream    bool    `json:"stream,omitempty"`
+	SketchEps float64 `json:"sketch_eps,omitempty"`
 }
 
 // GitRev returns the VCS revision baked into the binary by the Go
@@ -84,8 +101,14 @@ func NewManifest(tool string, res *Result, o Opts, started time.Time, wall time.
 			Seeds:       o.Seeds,
 			Loads:       o.Loads,
 			Parallelism: o.Parallelism,
+			Stream:      o.Stream,
+			SketchEps:   o.SketchEps,
 		},
+		PeakRSSBytes: peakRSS(),
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapSysBytes = ms.HeapSys
 	if !o.Faults.Empty() {
 		m.Params.Faults = o.Faults.String()
 	}
@@ -101,6 +124,32 @@ func NewManifest(tool string, res *Result, o Opts, started time.Time, wall time.
 		m.Snapshot = res.Obs
 	}
 	return m
+}
+
+// peakRSS reads the process's high-water resident set from Linux's
+// /proc/self/status (the VmHWM line, reported in kB). It returns 0 on
+// platforms without procfs or when the line is missing — the manifest
+// field is best-effort, not a portability promise.
+func peakRSS() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 // Write emits the manifest as indented JSON.

@@ -22,12 +22,16 @@ import (
 // observability for every point; o.Progress (if set) is called after
 // each point completes, possibly from a worker goroutine.
 func forEachPoint(cfgs []PointConfig, o Opts, fn func(i int, r PointResult)) {
-	if o.Obs || o.Check || o.Faults != nil {
+	if o.Obs || o.Check || o.Faults != nil || o.Stream {
 		for i := range cfgs {
 			cfgs[i].Obs = cfgs[i].Obs || o.Obs
 			cfgs[i].Check = cfgs[i].Check || o.Check
 			if cfgs[i].Faults == nil {
 				cfgs[i].Faults = o.Faults
+			}
+			cfgs[i].Stream = cfgs[i].Stream || o.Stream
+			if cfgs[i].SketchEps == 0 {
+				cfgs[i].SketchEps = o.SketchEps
 			}
 		}
 	}

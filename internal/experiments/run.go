@@ -117,6 +117,17 @@ type PointConfig struct {
 	// run byte-identical to a fault-free one (the injector is never
 	// built and the fault RNG stream is never created).
 	Faults *faults.Plan
+	// Stream runs the point through the bounded-memory path: arrivals
+	// are pulled from workload.Spec.Stream one at a time and flow
+	// records land in a metrics.StreamCollector, so memory is
+	// O(in-flight flows) instead of O(NumFlows). Flows, Completed,
+	// AFCT, MaxFCT, Retx and Timeouts are exactly the stored-mode
+	// values; P50/P99 and the CDF are within the sketch's ε. Records
+	// (per-flow outcomes) are not retained.
+	Stream bool
+	// SketchEps is the streaming quantile sketch's relative error
+	// bound (0 = metrics.DefaultSketchEps).
+	SketchEps float64
 }
 
 // PointResult is what one simulation yields.
@@ -458,21 +469,32 @@ func RunPoint(cfg PointConfig) PointResult {
 		spec.DeadlineMin = DeadlineLo
 		spec.DeadlineMax = DeadlineHi
 	}
-	flows := spec.Generate(sim.NewRand(cfg.Seed+1), 1)
-	d.Schedule(flows)
-
-	span := flows[len(flows)-1].Start
-	maxTime := span + sim.Time(10*sim.Second)
-	summary, err := d.Run(maxTime)
+	var sc *metrics.StreamCollector
+	var summary metrics.Summary
+	var err error
+	if cfg.Stream {
+		sc = metrics.NewStreamCollector(cfg.SketchEps)
+		d.UseSink(sc)
+		it := spec.Stream(sim.NewRand(cfg.Seed+1), 1)
+		d.ScheduleStream(it.Next)
+		summary, err = d.Run(0)
+	} else {
+		flows := spec.Generate(sim.NewRand(cfg.Seed+1), 1)
+		d.Schedule(flows)
+		span := flows[len(flows)-1].Start
+		summary, err = d.Run(span + sim.Time(10*sim.Second))
+	}
 	if err != nil {
 		panic(err)
 	}
 
 	res := PointResult{
 		Summary: summary,
-		CDF:     d.Collector.CDF(200),
+		CDF:     d.Sink.CDF(200),
 		Queues:  net.QueueStatsTotal(),
-		Records: d.Collector.Records(),
+	}
+	if !cfg.Stream {
+		res.Records = d.Collector.Records()
 	}
 	// Loss rate: every data packet dropped anywhere in the fabric over
 	// the data packets the hosts attempted to transmit.
@@ -493,6 +515,11 @@ func RunPoint(cfg PointConfig) PointResult {
 		sampler.Stop()
 		res.QueueSamples = sampler.Samples()
 	}
+	if chk != nil && sc != nil && sc.Completed() > 0 {
+		sk := sc.Sketch()
+		chk.SketchBounds("metrics/stream",
+			int64(summary.P50), int64(summary.P99), sk.Min(), sk.Max())
+	}
 	if chk != nil {
 		// The fabric is quiet: verify every queue's end-state packet
 		// conservation, then fold the verdict into the result.
@@ -507,6 +534,12 @@ func RunPoint(cfg PointConfig) PointResult {
 	if reg != nil {
 		scrapeRun(reg, eng, net, summary, paseSys, pdqSys)
 		scrapeCheck(reg, chk)
+		if sc != nil {
+			sk := sc.Sketch()
+			reg.Counter("metrics/sketch_adds").Add(sk.Count())
+			reg.Counter("metrics/sketch_buckets_used").Add(int64(sk.BucketsUsed()))
+			reg.Counter("metrics/stream_points").Inc()
+		}
 		res.Obs = reg.Snapshot()
 	}
 	if chk != nil && !cfg.Check && chk.Total() > 0 {

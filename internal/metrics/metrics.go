@@ -34,6 +34,21 @@ func (r FlowRecord) MetDeadline() bool {
 	return r.Done && r.Deadline > 0 && r.Finish <= r.Deadline
 }
 
+// Sink is where finished-flow records land: the stored Collector
+// (every record retained, exact statistics) or the bounded-memory
+// StreamCollector (online statistics over a quantile sketch). The
+// transport layer records through this interface so large runs can
+// swap collectors without touching the data path.
+type Sink interface {
+	// Add records one finished (or abandoned) flow.
+	Add(r FlowRecord)
+	// Summarize condenses everything recorded so far.
+	Summarize() Summary
+	// CDF returns the empirical FCT distribution of completed flows,
+	// downsampled to at most maxPoints evenly spaced quantiles.
+	CDF(maxPoints int) []CDFPoint
+}
+
 // Collector accumulates flow records for one simulation run.
 type Collector struct {
 	records []FlowRecord
@@ -130,10 +145,12 @@ func (s Summary) String() string {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of a sorted
-// slice using the nearest-rank method. It panics on an empty slice.
+// slice using the nearest-rank method. An empty slice has no
+// percentiles; it yields the zero duration, mirroring how Summarize
+// reports zero AFCT/P50/P99 for a run with no completed flows.
 func Percentile(sorted []sim.Duration, p float64) sim.Duration {
 	if len(sorted) == 0 {
-		panic("metrics: percentile of empty slice")
+		return 0
 	}
 	if p <= 0 {
 		return sorted[0]

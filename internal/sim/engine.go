@@ -91,6 +91,7 @@ type event struct {
 	fn      func()
 	eng     *Engine
 	gen     uint32
+	head    bool // AtHead event: wins timestamp ties against At events
 	stopped bool
 }
 
@@ -146,6 +147,10 @@ func (e *Engine) Schedule(d Duration, fn func()) Timer {
 // At runs fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug.
 func (e *Engine) At(t Time, fn func()) Timer {
+	return e.schedule(t, fn, false)
+}
+
+func (e *Engine) schedule(t Time, fn func(), head bool) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -154,10 +159,23 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.head = head
 	e.events.push(ev)
 	e.obsSched.Inc()
 	e.obsHeap.Update(int64(len(e.events)))
 	return Timer{ev: ev, gen: ev.gen, at: t}
+}
+
+// AtHead runs fn at absolute time t, ahead of every At/Schedule event
+// sharing that timestamp (AtHead events among themselves keep FIFO
+// order). It exists for lazily scheduled flow arrivals: a schedule
+// materialized before the run naturally holds lower sequence numbers
+// than anything the run itself enqueues, so its arrivals win all
+// timestamp ties — an arrival scheduled mid-run can only reproduce
+// that order by jumping the tie-break. Like At, scheduling in the past
+// panics.
+func (e *Engine) AtHead(t Time, fn func()) Timer {
+	return e.schedule(t, fn, true)
 }
 
 // alloc takes an event record off the free list, or makes one.
@@ -176,6 +194,7 @@ func (e *Engine) alloc() *event {
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.head = false
 	ev.stopped = false
 	if len(e.free) < maxFree {
 		e.free = append(e.free, ev)
@@ -283,9 +302,10 @@ func (e *Engine) freeLen() int { return len(e.free) }
 // heapLen reports the calendar size including dead records (test hook).
 func (e *Engine) heapLen() int { return len(e.events) }
 
-// eventHeap is a 4-ary min-heap ordered by (time, seq); seq breaks
-// ties in FIFO scheduling order. Since every (time, seq) key is
-// unique the pop order is a total order — runs are deterministic
+// eventHeap is a 4-ary min-heap ordered by (time, head, seq): AtHead
+// events sort before At events at the same instant, and seq breaks the
+// remaining ties in FIFO scheduling order. Since every (time, seq) key
+// is unique the pop order is a total order — runs are deterministic
 // regardless of heap shape. The wider node fans out fewer cache-missed
 // levels per sift than a binary heap, which is what the hot path pays.
 type eventHeap []*event
@@ -293,6 +313,9 @@ type eventHeap []*event
 func (h eventHeap) less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.head != b.head {
+		return a.head
 	}
 	return a.seq < b.seq
 }

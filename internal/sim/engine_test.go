@@ -43,6 +43,51 @@ func TestTieBreakFIFO(t *testing.T) {
 	}
 }
 
+func TestAtHeadWinsTimestampTies(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	at := Time(5 * Microsecond)
+	e.At(at, func() { got = append(got, "at1") })
+	e.AtHead(at, func() { got = append(got, "head1") })
+	e.At(at, func() { got = append(got, "at2") })
+	e.AtHead(at, func() { got = append(got, "head2") })
+	e.At(at.Add(Microsecond), func() { got = append(got, "later") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// AtHead events beat every At event at the same instant but keep
+	// FIFO order among themselves; later timestamps still fire later.
+	want := []string{"head1", "head2", "at1", "at2", "later"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtHeadStopAndRecycle(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.AtHead(Time(Microsecond), func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("pending AtHead timer must stop")
+	}
+	// The recycled record must not leak head status into a plain At.
+	var got []string
+	at := Time(2 * Microsecond)
+	e.At(at, func() { got = append(got, "first") })
+	e.At(at, func() { got = append(got, "second") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped AtHead event fired")
+	}
+	if len(got) != 2 || got[0] != "first" {
+		t.Fatalf("recycled head bit perturbed FIFO order: %v", got)
+	}
+}
+
 func TestNestedScheduling(t *testing.T) {
 	e := NewEngine()
 	var fired []Time

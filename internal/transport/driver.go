@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"pase/internal/check"
 	"pase/internal/metrics"
@@ -13,14 +14,30 @@ import (
 	"pase/internal/workload"
 )
 
+// streamGrace is how long a streaming run keeps simulating after the
+// last arrival before declaring the stragglers unfinished — the same
+// 10 s pad stored runs apply to the workload span.
+const streamGrace = sim.Duration(10 * sim.Second)
+
 // Driver runs a workload over a built fabric: it installs one Stack
 // per host, schedules flow arrivals, and stops the simulation when
 // every foreground flow has completed (or a deadline passes).
+//
+// Two scheduling modes exist. Schedule materializes every arrival up
+// front (O(flows) memory, the historical behavior). ScheduleStream
+// pulls arrivals from an iterator one at a time and keeps only the
+// next pending flow, which — combined with UseSink's bounded-memory
+// collector, sender recycling and receiver release — makes memory
+// O(in-flight flows) instead of O(total flows).
 type Driver struct {
-	Eng       *sim.Engine
-	Net       *topology.Network
-	Stacks    []*Stack
+	Eng    *sim.Engine
+	Net    *topology.Network
+	Stacks []*Stack
+	// Collector is the stored-mode collector (nil after UseSink).
 	Collector *metrics.Collector
+	// Sink receives every flow record; it equals Collector until
+	// UseSink swaps in a streaming collector.
+	Sink metrics.Sink
 
 	// OnFlowDone, when set, is called after any flow completes
 	// (protocol integrations use it to release arbitration state).
@@ -31,6 +48,16 @@ type Driver struct {
 
 	remaining int
 	started   []*Sender
+
+	// Streaming-mode state: the iterator, the one pending arrival, and
+	// a reusable arrival closure (the hot path schedules no per-flow
+	// closures).
+	streaming     bool
+	streamNext    func() (workload.FlowSpec, bool)
+	pending       workload.FlowSpec
+	hasPending    bool
+	streamDrained bool
+	arrivalFn     func()
 
 	chk *check.Checker
 }
@@ -61,16 +88,30 @@ func NewDriver(net *topology.Network, newControl func(*Sender) Control) *Driver 
 		Net:       net,
 		Collector: metrics.NewCollector(),
 	}
+	d.Sink = d.Collector
 	for _, h := range net.Hosts {
 		h := h
 		st := NewStack(net.Eng, h)
 		st.NewControl = newControl
-		st.Collector = d.Collector
+		st.Collector = d.Sink
 		st.BaseRTT = func(dst pkt.NodeID) sim.Duration { return net.BaseRTT(h.ID(), dst) }
 		st.OnFlowDone = d.flowDone
 		d.Stacks = append(d.Stacks, st)
 	}
 	return d
+}
+
+// UseSink replaces the stored collector with a bounded-memory sink and
+// switches every stack into recycling mode: completed senders return
+// to a free list and receiver state is released on flow completion.
+// Call it before scheduling anything.
+func (d *Driver) UseSink(sink metrics.Sink) {
+	d.Collector = nil
+	d.Sink = sink
+	for _, st := range d.Stacks {
+		st.Collector = sink
+		st.Recycle = true
+	}
 }
 
 // Stack returns the stack of host id.
@@ -102,9 +143,15 @@ func (d *Driver) flowDone(s *Sender) {
 	if d.chk != nil && !s.Aborted {
 		d.checkFCT(s)
 	}
+	if d.streaming {
+		d.Stacks[s.Spec.Dst].DropReceiver(s.Spec.ID)
+	}
 	if !s.Spec.Background {
 		d.remaining--
-		if d.remaining == 0 {
+		// A streaming run may momentarily have zero flows in flight
+		// while arrivals are still pending; only stop once the
+		// iterator is exhausted too.
+		if d.remaining == 0 && (!d.streaming || d.streamDrained) {
 			d.Eng.Stop()
 		}
 	}
@@ -130,31 +177,123 @@ func (d *Driver) Schedule(flows []workload.FlowSpec) {
 	}
 }
 
+// ScheduleStream switches the driver to streaming mode: next is pulled
+// lazily, one arrival ahead of the simulation clock, so the schedule
+// never materializes. The iterator must yield flows in
+// non-decreasing Start order (workload.Spec.Stream does). Arrival
+// events go on the calendar with AtHead so they win timestamp ties
+// against in-flight packet and timer events — the order a materialized
+// schedule gets for free, since its arrivals hold lower sequence
+// numbers than anything enqueued mid-run.
+func (d *Driver) ScheduleStream(next func() (workload.FlowSpec, bool)) {
+	d.streaming = true
+	d.streamNext = next
+	d.arrivalFn = d.onArrival
+	f, ok := next()
+	if !ok {
+		d.streamDrained = true
+		return
+	}
+	d.pending = f
+	d.hasPending = true
+	d.Eng.AtHead(f.Start, d.arrivalFn)
+}
+
+// onArrival starts the pending flow and schedules the next arrival.
+// Flows sharing one timestamp (a fan-in query's responses, the t=0
+// background flows) are started back-to-back within this one event:
+// that reproduces stored-mode event order, where all same-time arrival
+// events were enqueued before any event their processing schedules.
+func (d *Driver) onArrival() {
+	for {
+		cur := d.pending
+		next, ok := d.streamNext()
+		if !ok {
+			d.hasPending = false
+			d.streamDrained = true
+			// Watchdog: give stragglers the same grace stored runs
+			// get past the last arrival, then cut the run.
+			d.Eng.At(cur.Start.Add(streamGrace), d.Eng.Stop)
+			d.startStreamFlow(cur)
+			return
+		}
+		d.pending = next
+		if next.Start != cur.Start {
+			d.Eng.AtHead(next.Start, d.arrivalFn)
+			d.startStreamFlow(cur)
+			return
+		}
+		d.startStreamFlow(cur)
+	}
+}
+
+func (d *Driver) startStreamFlow(f workload.FlowSpec) {
+	if !f.Background {
+		d.remaining++
+	}
+	s := d.Stack(f.Src).StartFlow(f)
+	if d.OnFlowStart != nil {
+		d.OnFlowStart(s)
+	}
+}
+
 // Run executes until every scheduled foreground flow completes or
-// maxTime elapses, then records any unfinished foreground flows as
-// incomplete. It returns the summarized metrics.
+// maxTime elapses (ignored in streaming mode, which bounds the run by
+// the last arrival plus a grace period), then records any unfinished
+// foreground flows as incomplete. It returns the summarized metrics.
 func (d *Driver) Run(maxTime sim.Time) (metrics.Summary, error) {
-	if d.remaining == 0 {
-		return metrics.Summary{}, fmt.Errorf("transport: no foreground flows scheduled")
-	}
-	if err := d.Eng.RunUntil(maxTime); err != nil {
-		return metrics.Summary{}, err
-	}
-	for _, s := range d.started {
-		if !s.Done && !s.Spec.Background {
-			d.Collector.Add(metrics.FlowRecord{
-				ID:       uint64(s.Spec.ID),
-				Task:     s.Spec.Task,
-				Size:     s.Spec.Size,
-				Start:    s.Spec.Start,
-				Deadline: s.Spec.Deadline,
-				Done:     false,
-				Retx:     s.Retx,
-				Timeouts: s.Timeouts,
-			})
+	if d.streaming {
+		if d.streamDrained && !d.hasPending {
+			return metrics.Summary{}, fmt.Errorf("transport: no foreground flows scheduled")
+		}
+		if err := d.Eng.Run(); err != nil {
+			return metrics.Summary{}, err
+		}
+	} else {
+		if d.remaining == 0 {
+			return metrics.Summary{}, fmt.Errorf("transport: no foreground flows scheduled")
+		}
+		if err := d.Eng.RunUntil(maxTime); err != nil {
+			return metrics.Summary{}, err
 		}
 	}
-	return d.Collector.Summarize(), nil
+	for _, s := range d.unfinished() {
+		d.Sink.Add(metrics.FlowRecord{
+			ID:       uint64(s.Spec.ID),
+			Task:     s.Spec.Task,
+			Size:     s.Spec.Size,
+			Start:    s.Spec.Start,
+			Deadline: s.Spec.Deadline,
+			Done:     false,
+			Retx:     s.Retx,
+			Timeouts: s.Timeouts,
+		})
+	}
+	return d.Sink.Summarize(), nil
+}
+
+// unfinished returns the foreground senders the run cut off, in flow-id
+// order. Stored mode reads the started list; streaming mode (which
+// retains no such list) walks the stacks' live sender maps.
+func (d *Driver) unfinished() []*Sender {
+	var out []*Sender
+	if !d.streaming {
+		for _, s := range d.started {
+			if !s.Done && !s.Spec.Background {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	for _, st := range d.Stacks {
+		for _, s := range st.senders {
+			if !s.Done && !s.Spec.Background {
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
 }
 
 // Remaining returns how many foreground flows have not yet finished.

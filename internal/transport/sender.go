@@ -96,7 +96,24 @@ type Sender struct {
 
 func newSender(st *Stack, spec workload.FlowSpec) *Sender {
 	segs := pkt.DataPackets(spec.Size)
-	s := &Sender{
+	if n := len(st.pool); n > 0 {
+		s := st.pool[n-1]
+		st.pool[n-1] = nil
+		st.pool = st.pool[:n-1]
+		// Reset every field, keeping the segment slices' backing arrays.
+		*s = Sender{
+			st:            st,
+			Spec:          spec,
+			Segs:          segs,
+			state:         resetStates(s.state, int(segs)),
+			retransmitted: resetBools(s.retransmitted, int(segs)),
+			retxQ:         s.retxQ[:0],
+			Cwnd:          1,
+			SSThresh:      1 << 20,
+		}
+		return s
+	}
+	return &Sender{
 		st:            st,
 		Spec:          spec,
 		Segs:          segs,
@@ -105,7 +122,32 @@ func newSender(st *Stack, spec workload.FlowSpec) *Sender {
 		Cwnd:          1,
 		SSThresh:      1 << 20,
 	}
-	return s
+}
+
+// resetStates returns a zeroed segState slice of length n, reusing
+// prev's backing array when it is large enough.
+func resetStates(prev []segState, n int) []segState {
+	if cap(prev) < n {
+		return make([]segState, n)
+	}
+	prev = prev[:n]
+	for i := range prev {
+		prev[i] = segUnsent
+	}
+	return prev
+}
+
+// resetBools returns a zeroed bool slice of length n, reusing prev's
+// backing array when it is large enough.
+func resetBools(prev []bool, n int) []bool {
+	if cap(prev) < n {
+		return make([]bool, n)
+	}
+	prev = prev[:n]
+	for i := range prev {
+		prev[i] = false
+	}
+	return prev
 }
 
 // Stack returns the owning stack.

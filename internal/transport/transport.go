@@ -61,7 +61,14 @@ type Stack struct {
 	// NewControl builds the protocol instance for an outgoing flow.
 	NewControl func(s *Sender) Control
 	// Collector, when set, receives a FlowRecord per finished flow.
-	Collector *metrics.Collector
+	// Stored runs use *metrics.Collector; streaming runs install a
+	// bounded-memory StreamCollector.
+	Collector metrics.Sink
+	// Recycle, set by streaming runs, returns completed senders to a
+	// per-stack free list so steady-state flow turnover stops
+	// allocating. Safe because finish/Abort stop both sender timers and
+	// every protocol control is per-flow and deactivated on completion.
+	Recycle bool
 	// BaseRTT estimates the propagation RTT to a destination; used to
 	// seed RTO and window computations before any sample exists.
 	BaseRTT func(dst pkt.NodeID) sim.Duration
@@ -74,9 +81,14 @@ type Stack struct {
 
 	senders   map[pkt.FlowID]*Sender
 	receivers map[pkt.FlowID]*receiver
+	pool      []*Sender // free list of completed senders (Recycle mode)
 	pktID     uint64
 	obs       stackObs
 }
+
+// senderPoolCap bounds the per-stack free list so a burst of
+// concurrent flows cannot pin memory for the rest of the run.
+const senderPoolCap = 256
 
 // stackObs holds the transport-layer observability instruments. The
 // zero value (all nil) is the disabled state; every increment through
@@ -155,6 +167,21 @@ func (st *Stack) receiverFor(p *pkt.Packet) *receiver {
 	return r
 }
 
+// DropReceiver releases a flow's receiver state. Streaming runs call
+// it on flow completion so receiver memory stays bounded by the number
+// of in-flight flows; stored runs keep receivers for the run's
+// lifetime (the historical behavior).
+func (st *Stack) DropReceiver(id pkt.FlowID) { delete(st.receivers, id) }
+
+// recycle returns a finalized sender to the free list. Callers must
+// have stopped its timers (finish/Abort do) and run every completion
+// hook first.
+func (st *Stack) recycle(s *Sender) {
+	if st.Recycle && len(st.pool) < senderPoolCap {
+		st.pool = append(st.pool, s)
+	}
+}
+
 // flowDone finalizes a completed sender.
 func (st *Stack) flowDone(s *Sender) {
 	delete(st.senders, s.Spec.ID)
@@ -174,6 +201,7 @@ func (st *Stack) flowDone(s *Sender) {
 	if st.OnFlowDone != nil {
 		st.OnFlowDone(s)
 	}
+	st.recycle(s)
 }
 
 // flowAborted finalizes a killed flow: it is recorded as incomplete.
@@ -194,4 +222,5 @@ func (st *Stack) flowAborted(s *Sender) {
 	if st.OnFlowDone != nil {
 		st.OnFlowDone(s)
 	}
+	st.recycle(s)
 }

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// digest folds every field of every FlowSpec into one FNV-1a hash, so
+// two generators that disagree anywhere — ids, endpoints, sizes,
+// timestamps, deadlines, task grouping — produce different digests.
+func digest(flows []FlowSpec) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, f := range flows {
+		w(uint64(f.ID))
+		w(uint64(f.Src))
+		w(uint64(f.Dst))
+		w(uint64(f.Size))
+		w(uint64(f.Start))
+		w(uint64(f.Deadline))
+		if f.Background {
+			w(1)
+		} else {
+			w(0)
+		}
+		w(f.Task)
+	}
+	return h.Sum64()
+}
+
+func drain(st *Stream) []FlowSpec {
+	var out []FlowSpec
+	for {
+		f, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+// streamSpecs is the table the equivalence suite runs: every pattern,
+// fan-in, deadlines, background flows, and the 0/1-flow edge cases.
+func streamSpecs() map[string]Spec {
+	hosts := HostRange(0, 20)
+	return map[string]Spec{
+		"all-to-all": {
+			Pattern: AllToAll{Hosts: hosts}, Sizes: UniformSize{Min: 2_000, Max: 198_000},
+			Load: 0.6, Reference: 10 * netem.Gbps, NumFlows: 3000,
+		},
+		"fanin-19": {
+			Pattern: AllToAll{Hosts: hosts}, Sizes: FixedSize(20_000),
+			Load: 0.7, Reference: 10 * netem.Gbps, NumFlows: 2000, Fanin: 19,
+		},
+		"fanin-truncated-batch": {
+			// NumFlows not divisible by Fanin: the last query event is
+			// cut short mid-batch.
+			Pattern: AllToAll{Hosts: hosts}, Sizes: FixedSize(20_000),
+			Load: 0.7, Reference: 10 * netem.Gbps, NumFlows: 100, Fanin: 19,
+		},
+		"deadlines-and-background": {
+			Pattern: LeftRight{Left: HostRange(0, 10), Right: HostRange(10, 20)},
+			Sizes:   UniformSize{Min: 100_000, Max: 500_000},
+			Load:    0.8, Reference: 10 * netem.Gbps, NumFlows: 1500,
+			DeadlineMin:     sim.Duration(5 * sim.Millisecond),
+			DeadlineMax:     sim.Duration(25 * sim.Millisecond),
+			BackgroundFlows: 2,
+		},
+		"exp-sizes": {
+			Pattern: AllToAll{Hosts: hosts}, Sizes: ExpSize{MeanBytes: 50_000},
+			Load: 0.5, Reference: 10 * netem.Gbps, NumFlows: 500,
+		},
+		"one-flow": {
+			Pattern: AllToAll{Hosts: hosts}, Sizes: FixedSize(1_000),
+			Load: 0.5, Reference: 10 * netem.Gbps, NumFlows: 1,
+		},
+		"zero-flows": {
+			Pattern: AllToAll{Hosts: hosts}, Sizes: FixedSize(1_000),
+			Load: 0.5, Reference: 10 * netem.Gbps, NumFlows: 0,
+		},
+	}
+}
+
+// TestStreamMatchesGenerate pins the tentpole equivalence: for every
+// spec shape, Stream must yield exactly the sequence Generate
+// materializes — same RNG draws, same ids, same fan-in batching — so
+// the two scheduling modes are interchangeable.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for name, spec := range streamSpecs() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			gen := spec.Generate(sim.NewRand(seed), 1)
+			got := drain(spec.Stream(sim.NewRand(seed), 1))
+			if len(gen) != len(got) {
+				t.Fatalf("%s seed %d: %d streamed vs %d generated", name, seed, len(got), len(gen))
+			}
+			for i := range gen {
+				if gen[i] != got[i] {
+					t.Fatalf("%s seed %d: flow %d diverges:\n gen    %+v\n stream %+v",
+						name, seed, i, gen[i], got[i])
+				}
+			}
+			if digest(gen) != digest(got) {
+				t.Fatalf("%s seed %d: digests diverge", name, seed)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesGenerateFixedPairs covers the stateful pattern:
+// FixedPairs mutates a cursor on every Pair call, so each generator
+// needs its own instance.
+func TestStreamMatchesGenerateFixedPairs(t *testing.T) {
+	mk := func() Spec {
+		return Spec{
+			Pattern: &FixedPairs{Pairs: [][2]pkt.NodeID{{0, 1}, {2, 3}, {1, 2}}},
+			Sizes:   FixedSize(10_000),
+			Load:    0.5, Reference: 10 * netem.Gbps, NumFlows: 50,
+			BackgroundFlows: 1,
+		}
+	}
+	gen := mk().Generate(sim.NewRand(7), 1)
+	got := drain(mk().Stream(sim.NewRand(7), 1))
+	if !reflect.DeepEqual(gen, got) {
+		t.Fatalf("fixed-pairs sequences diverge:\n gen    %v\n stream %v", gen, got)
+	}
+}
+
+// TestStreamStartsNonDecreasing pins the contract ScheduleStream
+// relies on: arrival timestamps never run backwards.
+func TestStreamStartsNonDecreasing(t *testing.T) {
+	for name, spec := range streamSpecs() {
+		st := spec.Stream(sim.NewRand(2), 1)
+		var prev sim.Time
+		for {
+			f, ok := st.Next()
+			if !ok {
+				break
+			}
+			if f.Start < prev {
+				t.Fatalf("%s: arrival at %v after %v", name, f.Start, prev)
+			}
+			prev = f.Start
+		}
+	}
+}
+
+// TestStreamIsLazy verifies the memory contract: pulling a prefix of a
+// huge workload must not materialize the rest.
+func TestStreamIsLazy(t *testing.T) {
+	spec := Spec{
+		Pattern: AllToAll{Hosts: HostRange(0, 20)}, Sizes: FixedSize(10_000),
+		Load: 0.6, Reference: 10 * netem.Gbps, NumFlows: 1 << 30,
+	}
+	st := spec.Stream(sim.NewRand(1), 1)
+	for i := 0; i < 1000; i++ {
+		if _, ok := st.Next(); !ok {
+			t.Fatalf("stream dried up after %d of 2^30 flows", i)
+		}
+	}
+}

@@ -282,6 +282,97 @@ func (s Spec) Generate(r *sim.Rand, firstID pkt.FlowID) []FlowSpec {
 	return out
 }
 
+// Stream is an iterator over the same flow sequence Generate
+// materializes: background flows first, then Poisson arrivals one at a
+// time, drawing from the RNG in exactly the order Generate does so the
+// two are interchangeable (the conformance suite pins sequence
+// equality, fan-in included). A Stream holds only the current fan-in
+// batch — O(Fanin) memory regardless of NumFlows — which is what lets
+// million-flow runs schedule arrivals lazily instead of building the
+// whole []FlowSpec up front.
+type Stream struct {
+	spec    Spec
+	r       *sim.Rand
+	id      pkt.FlowID
+	bgSize  int64
+	bgLeft  int
+	meanGap sim.Duration
+	t       sim.Time
+	emitted int // foreground flows yielded so far
+	aggNext int
+	batch   []FlowSpec // pending flows of the current fan-in event
+	batchi  int
+}
+
+// Stream returns an iterator yielding the flow sequence of
+// Generate(r, firstID) one FlowSpec at a time.
+func (s Spec) Stream(r *sim.Rand, firstID pkt.FlowID) *Stream {
+	st := &Stream{spec: s, r: r, id: firstID, bgLeft: s.BackgroundFlows}
+	st.bgSize = s.BackgroundSize
+	if st.bgSize == 0 {
+		st.bgSize = 1 << 30
+	}
+	st.meanGap = sim.Duration(float64(sim.Second) / s.ArrivalRate())
+	if s.Fanin > 1 {
+		st.meanGap *= sim.Duration(s.Fanin)
+	}
+	return st
+}
+
+// Next yields the next flow, or ok=false when the workload is
+// exhausted.
+func (st *Stream) Next() (FlowSpec, bool) {
+	s := st.spec
+	if st.bgLeft > 0 {
+		st.bgLeft--
+		src, dst := s.Pattern.Pair(st.r)
+		f := FlowSpec{ID: st.id, Src: src, Dst: dst, Size: st.bgSize, Start: 0, Background: true}
+		st.id++
+		return f, true
+	}
+	if st.batchi < len(st.batch) {
+		f := st.batch[st.batchi]
+		st.batchi++
+		return f, true
+	}
+	for st.emitted < s.NumFlows {
+		st.t = st.t.Add(st.r.ExpDuration(st.meanGap))
+		if s.Fanin <= 1 {
+			src, dst := s.Pattern.Pair(st.r)
+			f := s.flow(st.r, st.id, src, dst, st.t)
+			st.id++
+			st.emitted++
+			return f, true
+		}
+		a2a, ok := s.Pattern.(AllToAll)
+		if !ok {
+			panic("workload: Fanin requires the AllToAll pattern")
+		}
+		dst := a2a.Hosts[st.aggNext%len(a2a.Hosts)]
+		st.aggNext++
+		task := uint64(st.aggNext)
+		workers := pickWorkers(st.r, a2a.Hosts, dst, s.Fanin)
+		st.batch = st.batch[:0]
+		for _, src := range workers {
+			if st.emitted >= s.NumFlows {
+				break
+			}
+			f := s.flow(st.r, st.id, src, dst, st.t)
+			f.Task = task
+			st.batch = append(st.batch, f)
+			st.id++
+			st.emitted++
+		}
+		// An all-aggregator query draw can yield zero workers only when
+		// the pool is empty; the outer loop then redraws, like Generate.
+		if len(st.batch) > 0 {
+			st.batchi = 1
+			return st.batch[0], true
+		}
+	}
+	return FlowSpec{}, false
+}
+
 func (s Spec) flow(r *sim.Rand, id pkt.FlowID, src, dst pkt.NodeID, t sim.Time) FlowSpec {
 	f := FlowSpec{ID: id, Src: src, Dst: dst, Size: s.Sizes.Sample(r), Start: t}
 	if s.DeadlineMax > 0 {

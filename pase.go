@@ -205,6 +205,17 @@ type SimConfig struct {
 	// draw from their own seeded RNG stream, so adding a zero-rate plan
 	// never perturbs workload or transport randomness.
 	Faults *FaultPlan
+	// Stream runs the point through the bounded-memory streaming path:
+	// arrivals come from the workload iterator, flow state is recycled,
+	// and metrics feed a quantile sketch instead of a per-flow store.
+	// Headline metrics (AFCT, throughput, loss) are identical to a
+	// stored run; P50/P99 and the CDF are within SketchEps. Streaming
+	// runs keep no per-flow records, so IncludeFlowLog yields an empty
+	// FlowLog.
+	Stream bool
+	// SketchEps bounds the streaming quantile sketch's relative error
+	// (0 = the metrics package default, 0.005).
+	SketchEps float64
 	// PASE ablation switches (PASE protocol only).
 	PASE PASEOptions
 }
@@ -311,14 +322,16 @@ func normalize(cfg SimConfig) (SimConfig, error) {
 // pointConfig maps the public config onto the experiment runner's.
 func pointConfig(cfg SimConfig) experiments.PointConfig {
 	return experiments.PointConfig{
-		Protocol: experiments.Protocol(cfg.Protocol),
-		Scenario: experiments.Scenario(cfg.Scenario),
-		Load:     cfg.Load,
-		Seed:     cfg.Seed,
-		NumFlows: cfg.NumFlows,
-		Obs:      cfg.Obs,
-		Check:    cfg.Check,
-		Faults:   cfg.Faults,
+		Protocol:  experiments.Protocol(cfg.Protocol),
+		Scenario:  experiments.Scenario(cfg.Scenario),
+		Load:      cfg.Load,
+		Seed:      cfg.Seed,
+		NumFlows:  cfg.NumFlows,
+		Obs:       cfg.Obs,
+		Check:     cfg.Check,
+		Faults:    cfg.Faults,
+		Stream:    cfg.Stream,
+		SketchEps: cfg.SketchEps,
 		Trace: experiments.TraceConfig{
 			FlowLog:     cfg.FlowTrace,
 			QueueSample: sim.Duration(cfg.QueueTrace),
@@ -477,13 +490,22 @@ type FigureOpts struct {
 	// of the figure that does not already carry its own (nil or empty
 	// = no faults, byte-identical output).
 	Faults *FaultPlan
+	// Stream runs every simulation point through the bounded-memory
+	// streaming path (workload iterator, recycled flow state, quantile
+	// sketch). AFCT/throughput/loss series are identical to stored
+	// runs; P50/P99 and CDF series are within SketchEps.
+	Stream bool
+	// SketchEps bounds the streaming quantile sketch's relative error
+	// (0 = the metrics package default, 0.005).
+	SketchEps float64
 }
 
 // expOpts maps the public options onto the experiment runner's.
 func expOpts(o FigureOpts) experiments.Opts {
 	return experiments.Opts{NumFlows: o.NumFlows, Seed: o.Seed, Seeds: o.Seeds,
 		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Check: o.Check,
-		Faults: o.Faults, Progress: o.Progress}
+		Faults: o.Faults, Progress: o.Progress,
+		Stream: o.Stream, SketchEps: o.SketchEps}
 }
 
 // FigureSeries is one curve of a regenerated figure.
@@ -576,7 +598,7 @@ func NewSimManifest(tool string, cfg SimConfig, reps []*Report, parallelism int,
 	m := experiments.NewManifest(tool, nil, experiments.Opts{
 		NumFlows: cfg.NumFlows, Seed: cfg.Seed, Seeds: len(reps),
 		Loads: []float64{cfg.Load}, Parallelism: parallelism,
-		Faults: cfg.Faults,
+		Faults: cfg.Faults, Stream: cfg.Stream, SketchEps: cfg.SketchEps,
 	}, started, wall)
 	m.Title = fmt.Sprintf("%s / %s @ load %g", cfg.Protocol, cfg.Scenario, cfg.Load)
 	snaps := make([]*Snapshot, len(reps))
