@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check-test chaos-smoke scale-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
+.PHONY: build vet test race check-test chaos-smoke scale-smoke shard-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ chaos-smoke:
 # bounded. See TestScaleSmoke.
 scale-smoke:
 	PASE_CHECK=1 PASE_SCALE_SMOKE=1 $(GO) test -run 'TestScaleSmoke' -count=1 -v ./internal/experiments/
+
+# Sharded-engine smoke: the serial-equality pins (digests, golden TSV,
+# streaming, faults, GOMAXPROCS) under the forced invariant checker,
+# the race detector over the worker-barrier machinery, and one
+# 10^5-flow sharded streaming run end to end.
+shard-smoke:
+	PASE_CHECK=1 $(GO) test -run 'TestSharded' -count=1 -v ./internal/experiments/ ./internal/sim/
+	$(GO) test -race -run 'TestSharded' -count=1 ./internal/experiments/ ./internal/sim/
+	PASE_CHECK=1 $(GO) run ./cmd/pasesim -scenario leaf-spine-wide -protocol DCTCP -scale 100000 -load 0.6 -shards 4 -progress=false
 
 # Each fuzz target gets a short budget over its committed seed corpus
 # (testdata/fuzz/) — a CI-sized smoke that still explores beyond the
@@ -77,4 +86,4 @@ manifest-sample:
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race check-test chaos-smoke scale-smoke fuzz-smoke bench-smoke obs-bench
+ci: vet build test race check-test chaos-smoke scale-smoke shard-smoke fuzz-smoke bench-smoke obs-bench

@@ -46,6 +46,7 @@ func main() {
 		chkFlag   = flag.Bool("check", false, "run every point with the runtime invariant checker; exit 1 on any violation")
 		faultSpec = flag.String("faults", "", `fault-injection plan applied to every simulation point, e.g. "ctrl:drop=0.2"`)
 		stream    = flag.Bool("stream", false, "run every point on the bounded-memory streaming path (sketch quantiles)")
+		shards    = flag.Int("shards", 0, "engine shards per simulation point (0/1 = serial; output is identical at any setting; multiplies with -parallel)")
 		scale     = flag.Int("scale", 0, "shortcut for the scale figure: -fig scale -stream with this many flows at the sweep top")
 		progress  = flag.Bool("progress", true, "live progress meter on stderr")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -66,7 +67,8 @@ func main() {
 		*stream = true
 	}
 	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds,
-		Parallelism: *parallel, Obs: *obs, Check: *chkFlag, Stream: *stream}
+		Parallelism: *parallel, Obs: *obs, Check: *chkFlag, Stream: *stream,
+		Shards: *shards}
 	if *faultSpec != "" {
 		plan, err := pase.ParseFaults(*faultSpec)
 		if err != nil {

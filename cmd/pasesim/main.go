@@ -30,7 +30,7 @@ import (
 func main() {
 	var (
 		protocol  = flag.String("protocol", "PASE", "transport: DCTCP, D2TCP, L2DCT, pFabric, PDQ, PASE")
-		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed")
+		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed, leaf-spine, leaf-spine-wide")
 		load      = flag.Float64("load", 0.7, "offered load in (0,1]")
 		flows     = flag.Int("flows", 2000, "number of foreground flows")
 		seed      = flag.Uint64("seed", 1, "workload seed")
@@ -49,6 +49,7 @@ func main() {
 		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
 		faultSpec = flag.String("faults", "", `fault-injection plan, e.g. "loss:link=*,class=data,rate=0.01; ctrl:drop=0.2"`)
 		stream    = flag.Bool("stream", false, "bounded-memory streaming run: iterator arrivals, recycled flow state, sketch quantiles")
+		shards    = flag.Int("shards", 0, "engine shards for the run (0/1 = serial; results byte-identical at any setting; PASE/PDQ/traced runs fall back to serial)")
 		scale     = flag.Int("scale", 0, "shortcut for a large streaming run: implies -stream with this many flows")
 		obs       = flag.Bool("obs", false, "collect run observability and write a manifest (see -manifest)")
 		chkFlag   = flag.Bool("check", false, "run with the runtime invariant checker; exit 1 on any violation")
@@ -83,6 +84,7 @@ func main() {
 		Obs:            *obs,
 		Check:          *chkFlag,
 		Stream:         *stream,
+		Shards:         *shards,
 		FlowTrace:      *flowLog != "",
 		PASE: pase.PASEOptions{
 			LocalOnly:      *localOnly,

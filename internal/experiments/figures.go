@@ -53,6 +53,14 @@ type Opts struct {
 	// SketchEps overrides the streaming sketch's relative error bound
 	// (0 = metrics.DefaultSketchEps).
 	SketchEps float64
+	// Shards splits every point's fabric across this many
+	// independently-clocked engine shards (0 or 1 = serial). Results are
+	// byte-identical to serial runs at every setting; points that cannot
+	// shard (PASE, PDQ, traces, single-atom topologies) silently fall
+	// back to the serial engine. Note the multiplicative core budget
+	// with Parallelism: a pooled figure runs up to
+	// Parallelism × Shards goroutines at once.
+	Shards int
 }
 
 func (o Opts) seeds() int {

@@ -22,7 +22,7 @@ import (
 // observability for every point; o.Progress (if set) is called after
 // each point completes, possibly from a worker goroutine.
 func forEachPoint(cfgs []PointConfig, o Opts, fn func(i int, r PointResult)) {
-	if o.Obs || o.Check || o.Faults != nil || o.Stream {
+	if o.Obs || o.Check || o.Faults != nil || o.Stream || o.Shards > 1 {
 		for i := range cfgs {
 			cfgs[i].Obs = cfgs[i].Obs || o.Obs
 			cfgs[i].Check = cfgs[i].Check || o.Check
@@ -32,6 +32,9 @@ func forEachPoint(cfgs []PointConfig, o Opts, fn func(i int, r PointResult)) {
 			cfgs[i].Stream = cfgs[i].Stream || o.Stream
 			if cfgs[i].SketchEps == 0 {
 				cfgs[i].SketchEps = o.SketchEps
+			}
+			if cfgs[i].Shards == 0 {
+				cfgs[i].Shards = o.Shards
 			}
 		}
 	}

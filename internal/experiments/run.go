@@ -64,6 +64,10 @@ const (
 	// LeafSpine: extension — a 4-leaf × 2-spine multipath fabric with
 	// per-flow ECMP; flows cross leaves (short-message workload).
 	LeafSpine Scenario = "leaf-spine"
+	// LeafSpineWide: a wider 8-leaf × 4-spine fabric (80 hosts,
+	// 12 partition atoms) used by the sharded-engine benchmarks — enough
+	// atoms that -shards 8 still gets distinct work per shard.
+	LeafSpineWide Scenario = "leaf-spine-wide"
 )
 
 // PASEOptions select PASE ablations.
@@ -128,6 +132,13 @@ type PointConfig struct {
 	// SketchEps is the streaming quantile sketch's relative error
 	// bound (0 = metrics.DefaultSketchEps).
 	SketchEps float64
+	// Shards splits the single run across this many engine shards
+	// synchronized by conservative lookahead (0 or 1 = serial).
+	// Results are byte-identical to serial at every shard count.
+	// Protocols with fabric-synchronous control planes (PASE, PDQ),
+	// traced runs, and single-atom fabrics fall back to serial — the
+	// shard/fallback_serial counter records it when Obs is set.
+	Shards int
 }
 
 // PointResult is what one simulation yields.
@@ -234,6 +245,21 @@ func scenario(s Scenario) scenarioSpec {
 			qSize:     DCTCPQueueSize,
 			epoch:     200 * sim.Microsecond,
 		}
+	case LeafSpineWide:
+		ls := topology.DefaultLeafSpine(nil)
+		ls.Leaves, ls.Spines = 8, 4
+		return scenarioSpec{
+			buildLS: &ls,
+			pattern: func(n *topology.Network) workload.Pattern {
+				return workload.AllToAll{Hosts: workload.HostRange(0, ls.Leaves*ls.HostsPerLeaf)}
+			},
+			sizes:     workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+			reference: netem.BitRate(ls.Leaves*ls.HostsPerLeaf) * netem.Gbps,
+			bgFlows:   BackgroundFlows,
+			markK:     MarkingThreshold,
+			qSize:     DCTCPQueueSize,
+			epoch:     200 * sim.Microsecond,
+		}
 	case Testbed:
 		return scenarioSpec{
 			topo: topology.Testbed,
@@ -315,6 +341,19 @@ func queueFactory(p Protocol, sp scenarioSpec, numQueues int, reg *obs.Registry)
 
 // RunPoint executes one simulation point.
 func RunPoint(cfg PointConfig) PointResult {
+	if cfg.Shards > 1 {
+		if reason := shardFallback(cfg); reason != "" {
+			return runPointSerial(cfg, reason)
+		}
+		return runPointSharded(cfg)
+	}
+	return runPointSerial(cfg, "")
+}
+
+// runPointSerial is the single-engine path; fallback, when non-empty,
+// names why a sharded request degraded to serial (recorded in the obs
+// snapshot).
+func runPointSerial(cfg PointConfig, fallback string) PointResult {
 	sp := scenario(cfg.Scenario)
 	numFlows := cfg.NumFlows
 	if numFlows == 0 {
@@ -328,6 +367,10 @@ func RunPoint(cfg PointConfig) PointResult {
 	var reg *obs.Registry
 	if cfg.Obs {
 		reg = obs.NewRegistry()
+	}
+	if fallback != "" {
+		reg.Counter("shard/fallback_serial").Inc()
+		reg.Counter("shard/fallback_serial/" + fallback).Inc()
 	}
 	eng := sim.NewEngine()
 	eng.Instrument(reg)

@@ -16,13 +16,22 @@ const streamLabel = 0xfa017
 // Injector executes a Plan against one run: it installs port hooks for
 // link outages and packet loss, schedules crash/restart events on the
 // event heap, and answers the arbitration system's ControlFaults
-// queries. All randomness comes from a private stream derived from
+// queries. All randomness comes from private streams derived from
 // (runSeed, plan.Seed), so the workload stream never observes the
-// plan.
+// plan. Each bound link draws from its own stream, keyed by link ID
+// alone — loss draws on one link cannot perturb another link's
+// sequence, which keeps fault behavior identical between serial and
+// sharded runs regardless of the order links transmit in.
 type Injector struct {
-	eng  *sim.Engine
-	plan *Plan
-	rng  *sim.Rand
+	eng     *sim.Engine
+	plan    *Plan
+	runSeed uint64
+	rng     *sim.Rand // control-plane stream (stream index 0)
+
+	// OmitCrashes skips arbitrator crash/restart timers in Arm.
+	// Sharded runs arm them on one shard only, so the faults/arb_*
+	// counters keep their serial totals after the per-shard merge.
+	OmitCrashes bool
 
 	// ports maps link ID -> transmitting port; bound keeps the IDs
 	// sorted so link=-1 rules fire in a deterministic order.
@@ -56,10 +65,20 @@ func NewInjector(eng *sim.Engine, plan *Plan, runSeed uint64) *Injector {
 	return &Injector{
 		eng:     eng,
 		plan:    plan,
-		rng:     sim.NewRand(runSeed).Split(streamLabel ^ plan.Seed),
+		runSeed: runSeed,
+		rng:     faultStream(runSeed, plan.Seed, 0),
 		ports:   make(map[int]*netem.Port),
 		blocked: make(map[int]int),
 	}
+}
+
+// faultStream derives an independent RNG stream for (runSeed,
+// planSeed, index) from scratch — no shared parent state, so the
+// stream a consumer gets never depends on how many other streams were
+// created first. Index 0 is the control-plane stream; link i uses
+// index i+1.
+func faultStream(runSeed, planSeed, index uint64) *sim.Rand {
+	return sim.NewRand(runSeed).Split(streamLabel ^ planSeed).Split(index)
 }
 
 // Instrument registers the faults/* counters. Safe to skip (all
@@ -100,7 +119,12 @@ func (in *Injector) BindPort(link int, pt *netem.Port) {
 		}
 	}
 	if hooked || len(rules) > 0 {
-		pt.Faults = &portHook{in: in, link: link, rules: rules}
+		pt.Faults = &portHook{
+			in:    in,
+			link:  link,
+			rules: rules,
+			rng:   faultStream(in.runSeed, in.plan.Seed, uint64(link)+1),
+		}
 	}
 }
 
@@ -119,6 +143,9 @@ func (in *Injector) Arm() {
 			}
 		}
 		fire(r.At)
+	}
+	if in.OmitCrashes {
+		return
 	}
 	for _, r := range in.plan.Crashes {
 		r := r
@@ -224,6 +251,8 @@ type portHook struct {
 	in    *Injector
 	link  int
 	rules []*LossFault
+	// rng is the link's private loss/corruption stream.
+	rng *sim.Rand
 }
 
 // Blocked pauses the transmitter while an outage holds the link down.
@@ -238,11 +267,11 @@ func (h *portHook) Lose(_ *netem.Port, p *pkt.Packet) bool {
 		if !r.Class.Matches(p.Type) || !activeWindow(now, r.From, r.To) {
 			continue
 		}
-		if r.Rate > 0 && h.in.rng.Float64() < r.Rate {
+		if r.Rate > 0 && h.rng.Float64() < r.Rate {
 			h.dropCounter(p.Type).Inc()
 			return true
 		}
-		if r.Corrupt > 0 && h.in.rng.Float64() < r.Corrupt {
+		if r.Corrupt > 0 && h.rng.Float64() < r.Corrupt {
 			h.in.o.corrupt.Inc()
 			return true
 		}

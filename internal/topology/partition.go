@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+)
+
+// Partition assigns every fabric node to a shard for sharded runs.
+// The indivisible unit is an *atom*: a rack (its hosts plus the
+// ToR/leaf switch — host<->ToR links are the latency-critical edge
+// hops and never cross shards) or a single upper-tier switch (agg,
+// core, spine). Atoms are dealt round-robin onto shards, so one shard
+// per rack is the natural maximum degree of parallelism; asking for
+// more shards than atoms silently clamps.
+type Partition struct {
+	// Shards is the effective shard count, min(requested, atoms).
+	Shards int
+	// Atoms is the fabric's atom count — the parallelism ceiling.
+	Atoms int
+
+	byNode []int // NodeID -> shard
+}
+
+// ShardOf returns the shard a node is assigned to.
+func (p *Partition) ShardOf(n netem.Node) int { return p.byNode[n.ID()] }
+
+// ShardOfID returns the shard of the node with the given ID.
+func (p *Partition) ShardOfID(id pkt.NodeID) int { return p.byNode[id] }
+
+func dealAtoms(atomOf []int, atoms, shards int) *Partition {
+	if shards > atoms {
+		shards = atoms
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	byNode := make([]int, len(atomOf))
+	for id, a := range atomOf {
+		byNode[id] = a % shards
+	}
+	return &Partition{Shards: shards, Atoms: atoms, byNode: byNode}
+}
+
+// PartitionTree maps the tree fabric described by cfg onto at most
+// shards shards. Atoms: rack r -> atom r; aggregation switch a ->
+// atom Racks+a; the core -> the last atom. NodeIDs follow Build's
+// assignment order (hosts, ToRs, aggs, core).
+func PartitionTree(cfg Config, shards int) *Partition {
+	numHosts := cfg.Racks * cfg.HostsPerRack
+	multiTier := cfg.Racks > 1
+	numAggs := 0
+	core := 0
+	if multiTier {
+		numAggs = cfg.Racks / cfg.RacksPerAgg
+		core = 1
+	}
+	atomOf := make([]int, 0, numHosts+cfg.Racks+numAggs+core)
+	for h := 0; h < numHosts; h++ {
+		atomOf = append(atomOf, h/cfg.HostsPerRack)
+	}
+	for r := 0; r < cfg.Racks; r++ {
+		atomOf = append(atomOf, r)
+	}
+	for a := 0; a < numAggs; a++ {
+		atomOf = append(atomOf, cfg.Racks+a)
+	}
+	if multiTier {
+		atomOf = append(atomOf, cfg.Racks+numAggs)
+	}
+	return dealAtoms(atomOf, cfg.Racks+numAggs+core, shards)
+}
+
+// PartitionLeafSpine maps a leaf-spine fabric onto at most shards
+// shards. Atoms: leaf l (with its hosts) -> atom l; spine s -> atom
+// Leaves+s. NodeIDs follow BuildLeafSpine's order (hosts, leaves,
+// spines).
+func PartitionLeafSpine(cfg LeafSpineConfig, shards int) *Partition {
+	numHosts := cfg.Leaves * cfg.HostsPerLeaf
+	atomOf := make([]int, 0, numHosts+cfg.Leaves+cfg.Spines)
+	for h := 0; h < numHosts; h++ {
+		atomOf = append(atomOf, h/cfg.HostsPerLeaf)
+	}
+	for l := 0; l < cfg.Leaves; l++ {
+		atomOf = append(atomOf, l)
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		atomOf = append(atomOf, cfg.Leaves+s)
+	}
+	return dealAtoms(atomOf, cfg.Leaves+cfg.Spines, shards)
+}
+
+// CutLinks enumerates the directed links whose endpoints live on
+// different shards and returns the minimum one-way propagation delay
+// among them — the causality lower bound a sharded run uses as its
+// conservative lookahead. ok is false when nothing is cut (a
+// single-shard partition).
+func (p *Partition) CutLinks(n *Network) (cut []*Link, minDelay sim.Duration, ok bool) {
+	for _, l := range n.Links {
+		if p.ShardOf(l.From) == p.ShardOf(l.To) {
+			continue
+		}
+		d := l.Port.PropDelay()
+		if !ok || d < minDelay {
+			minDelay = d
+		}
+		ok = true
+		cut = append(cut, l)
+	}
+	return cut, minDelay, ok
+}

@@ -113,13 +113,16 @@ const (
 	// ScenarioLeafSpine: extension — a 4-leaf × 2-spine multipath
 	// fabric with per-flow ECMP.
 	ScenarioLeafSpine Scenario = Scenario(experiments.LeafSpine)
+	// ScenarioLeafSpineWide: a wider 8-leaf × 4-spine fabric (80 hosts)
+	// used by the sharded-engine benchmarks.
+	ScenarioLeafSpineWide Scenario = Scenario(experiments.LeafSpineWide)
 )
 
 // Scenarios lists every available scenario.
 func Scenarios() []Scenario {
 	return []Scenario{ScenarioLeftRight, ScenarioIntraRack,
 		ScenarioIntraRackLarge, ScenarioWorkerAgg, ScenarioDeadline,
-		ScenarioTestbed, ScenarioLeafSpine}
+		ScenarioTestbed, ScenarioLeafSpine, ScenarioLeafSpineWide}
 }
 
 // PASEOptions toggle PASE's internal mechanisms (ablations).
@@ -216,6 +219,14 @@ type SimConfig struct {
 	// SketchEps bounds the streaming quantile sketch's relative error
 	// (0 = the metrics package default, 0.005).
 	SketchEps float64
+	// Shards partitions the fabric across this many independently
+	// clocked engine shards synchronized by conservative lookahead
+	// (0 or 1 = serial). Results are byte-identical to a serial run at
+	// every shard count. Runs that cannot shard — PASE and PDQ (their
+	// control planes are fabric-synchronous), traced runs, and
+	// single-rack topologies — silently fall back to the serial engine
+	// (the shard/fallback_serial counter records it when Obs is set).
+	Shards int
 	// PASE ablation switches (PASE protocol only).
 	PASE PASEOptions
 }
@@ -332,6 +343,7 @@ func pointConfig(cfg SimConfig) experiments.PointConfig {
 		Faults:    cfg.Faults,
 		Stream:    cfg.Stream,
 		SketchEps: cfg.SketchEps,
+		Shards:    cfg.Shards,
 		Trace: experiments.TraceConfig{
 			FlowLog:     cfg.FlowTrace,
 			QueueSample: sim.Duration(cfg.QueueTrace),
@@ -498,6 +510,12 @@ type FigureOpts struct {
 	// SketchEps bounds the streaming quantile sketch's relative error
 	// (0 = the metrics package default, 0.005).
 	SketchEps float64
+	// Shards runs every simulation point on this many engine shards
+	// synchronized by conservative lookahead (0 or 1 = serial; results
+	// byte-identical at every setting). Combines multiplicatively with
+	// Parallelism: a pooled figure runs up to Parallelism × Shards
+	// goroutines at once, so budget cores accordingly.
+	Shards int
 }
 
 // expOpts maps the public options onto the experiment runner's.
@@ -505,7 +523,7 @@ func expOpts(o FigureOpts) experiments.Opts {
 	return experiments.Opts{NumFlows: o.NumFlows, Seed: o.Seed, Seeds: o.Seeds,
 		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Check: o.Check,
 		Faults: o.Faults, Progress: o.Progress,
-		Stream: o.Stream, SketchEps: o.SketchEps}
+		Stream: o.Stream, SketchEps: o.SketchEps, Shards: o.Shards}
 }
 
 // FigureSeries is one curve of a regenerated figure.
@@ -599,6 +617,7 @@ func NewSimManifest(tool string, cfg SimConfig, reps []*Report, parallelism int,
 		NumFlows: cfg.NumFlows, Seed: cfg.Seed, Seeds: len(reps),
 		Loads: []float64{cfg.Load}, Parallelism: parallelism,
 		Faults: cfg.Faults, Stream: cfg.Stream, SketchEps: cfg.SketchEps,
+		Shards: cfg.Shards,
 	}, started, wall)
 	m.Title = fmt.Sprintf("%s / %s @ load %g", cfg.Protocol, cfg.Scenario, cfg.Load)
 	snaps := make([]*Snapshot, len(reps))
