@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check-test chaos-smoke scale-smoke shard-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
+.PHONY: build vet test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,18 @@ shard-smoke:
 	$(GO) test -race -run 'TestSharded' -count=1 ./internal/experiments/ ./internal/sim/
 	PASE_CHECK=1 $(GO) run ./cmd/pasesim -scenario leaf-spine-wide -protocol DCTCP -scale 100000 -load 0.6 -shards 4 -progress=false
 
+# Flight-recorder smoke: the traced-run determinism pins (Perfetto
+# bytes identical at shards 0-4, stream/stored, faulted chaos, golden
+# trace) under the forced invariant checker, then one checked, sharded,
+# streamed, faulted traced run end to end whose trace the pasetrace
+# analyzer must validate and digest (exit 0).
+trace-smoke:
+	mkdir -p artifacts
+	PASE_CHECK=1 $(GO) test -run 'TestTraced|TestPASETrace|TestTraceSampling|TestGoldenPerfetto' -count=1 -v ./internal/experiments/ ./internal/trace/
+	PASE_CHECK=1 $(GO) run ./cmd/pasesim -protocol DCTCP -scenario left-right -load 0.7 -flows 2000 -shards 4 -stream -check \
+		-faults "loss:rate=0.002" -trace artifacts/trace-smoke.json -progress=false
+	$(GO) run ./cmd/pasetrace artifacts/trace-smoke.json
+
 # Each fuzz target gets a short budget over its committed seed corpus
 # (testdata/fuzz/) — a CI-sized smoke that still explores beyond the
 # seeds. -fuzz accepts one target per invocation, hence one run each.
@@ -86,4 +98,4 @@ manifest-sample:
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race check-test chaos-smoke scale-smoke shard-smoke fuzz-smoke bench-smoke obs-bench
+ci: vet build test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke bench-smoke obs-bench

@@ -108,6 +108,30 @@ func BenchmarkFig09aCheckOverhead(b *testing.B) {
 	b.ReportMetric(float64(fig.Points), "points_checked")
 }
 
+// BenchmarkFig09aTraceOverhead is BenchmarkFig09aLeftRightAFCT with
+// the span flight recorder enabled on every point; the delta between
+// the two is the full recording cost. With tracing off, the hot paths
+// pay only nil-checked hook pointers (budget: ≤2%, same as obs and
+// check — BenchmarkFig09aLeftRightAFCT itself measures that disabled
+// path).
+func BenchmarkFig09aTraceOverhead(b *testing.B) {
+	var fig *pase.FigureData
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = pase.RunFigure("9a", pase.FigureOpts{
+			NumFlows: 250, Seed: 1, Loads: []float64{0.5, 0.8}, Obs: true, Trace: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap := fig.Snapshot()
+	if snap == nil || snap.Counters["trace/flows_started"] == 0 {
+		b.Fatal("traced run recorded no flows")
+	}
+	b.ReportMetric(float64(snap.Counters["trace/flows_final"]), "flows_traced")
+	b.ReportMetric(float64(snap.Counters["trace/ctrl_spans"]), "ctrl_spans")
+}
+
 func BenchmarkFig09bLeftRightCDF(b *testing.B) {
 	benchFigure(b, "9b", 250, nil)
 }

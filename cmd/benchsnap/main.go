@@ -51,6 +51,21 @@ type Snapshot struct {
 	// as shards — on a single-core host (see GOMAXPROCS) the column
 	// records the sharding machinery's overhead instead.
 	Sharded *ShardBench `json:"sharded,omitempty"`
+	// Trace compares a figure-9a point with and without the span flight
+	// recorder attached, pinning the flight recorder's cost. The
+	// recorder budget is ≤2% overhead when disabled; the on-column
+	// records the full recording cost.
+	Trace *TraceBench `json:"trace,omitempty"`
+}
+
+// TraceBench is the flight-recorder overhead record: the same point
+// timed trace-off and trace-on (best of Reps each).
+type TraceBench struct {
+	Flows       int     `json:"flows"`
+	Reps        int     `json:"reps"`
+	OffMS       float64 `json:"off_ms"`
+	OnMS        float64 `json:"on_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // ShardBench is the sharded-engine speedup record.
@@ -114,6 +129,7 @@ func main() {
 		memflows    = flag.Int("memflows", 20_000, "flows for the streaming-vs-stored memory comparison (0 disables)")
 		shardflows  = flag.Int("shardflows", 100_000, "flows for the sharded speedup scale point (0 disables the section)")
 		shardcounts = flag.String("shardcounts", "2,4,8", "shard counts to time against the serial engine")
+		traceflows  = flag.Int("traceflows", 2000, "flows for the trace-on/off overhead point (0 disables the section)")
 		out         = flag.String("out", "", "output file or directory (default BENCH_<date>.json in the working directory)")
 	)
 	flag.Parse()
@@ -184,6 +200,9 @@ func main() {
 		}
 		snap.Sharded = benchSharded(*shardflows, counts)
 	}
+	if *traceflows > 0 {
+		snap.Trace = benchTrace(*traceflows, 3)
+	}
 
 	path := *out
 	switch {
@@ -223,6 +242,36 @@ func main() {
 			fmt.Println("note: single-core host — sharded timings measure overhead, not speedup")
 		}
 	}
+	if tb := snap.Trace; tb != nil {
+		fmt.Printf("trace @ %d flows: off %.0f ms, on %.0f ms (%+.1f%% recording overhead)\n",
+			tb.Flows, tb.OffMS, tb.OnMS, tb.OverheadPct)
+	}
+}
+
+// benchTrace times one fig-9a-style point with the flight recorder off
+// and on, best-of-reps to damp scheduler noise.
+func benchTrace(flows, reps int) *TraceBench {
+	cfg := experiments.PointConfig{
+		Protocol: experiments.DCTCP, Scenario: experiments.LeftRight,
+		Load: 0.5, Seed: 1, NumFlows: flows,
+	}
+	best := func(c experiments.PointConfig) float64 {
+		min := 0.0
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			experiments.RunPoint(c)
+			if w := float64(time.Since(start).Microseconds()) / 1000; i == 0 || w < min {
+				min = w
+			}
+		}
+		return min
+	}
+	off := best(cfg)
+	traced := cfg
+	traced.Trace = experiments.TraceConfig{Spans: true}
+	on := best(traced)
+	return &TraceBench{Flows: flows, Reps: reps, OffMS: off, OnMS: on,
+		OverheadPct: 100 * (on - off) / off}
 }
 
 // benchSharded times the serial engine against each shard count on two

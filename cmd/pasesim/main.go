@@ -46,10 +46,13 @@ func main() {
 		flowLog   = flag.String("flowlog", "", "write the flow event trace (start/done/abort) as TSV to this file")
 		queueLog  = flag.String("queuetrace", "", "write sampled queue occupancies as TSV to this file")
 		queueInt  = flag.Duration("queueinterval", 100*time.Microsecond, "queue sampling interval for -queuetrace")
+		traceOut  = flag.String("trace", "", "write the span-based flight recording as Perfetto trace-event JSON to this file (inspect with pasetrace or ui.perfetto.dev)")
+		traceN    = flag.Int("trace-sample", 0, "keep 1 in N flow traces (0/1 = all; misbehaving flows are always kept)")
+		traceSp   = flag.Bool("trace-spill", false, "stream the -trace output as flows complete (O(in-flight) memory; forces the serial engine)")
 		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
 		faultSpec = flag.String("faults", "", `fault-injection plan, e.g. "loss:link=*,class=data,rate=0.01; ctrl:drop=0.2"`)
 		stream    = flag.Bool("stream", false, "bounded-memory streaming run: iterator arrivals, recycled flow state, sketch quantiles")
-		shards    = flag.Int("shards", 0, "engine shards for the run (0/1 = serial; results byte-identical at any setting; PASE/PDQ/traced runs fall back to serial)")
+		shards    = flag.Int("shards", 0, "engine shards for the run (0/1 = serial; results and traces byte-identical at any setting; PASE/PDQ fall back to serial)")
 		scale     = flag.Int("scale", 0, "shortcut for a large streaming run: implies -stream with this many flows")
 		obs       = flag.Bool("obs", false, "collect run observability and write a manifest (see -manifest)")
 		chkFlag   = flag.Bool("check", false, "run with the runtime invariant checker; exit 1 on any violation")
@@ -73,6 +76,12 @@ func main() {
 	if *stream && *outcomes != "" {
 		fail(fmt.Errorf("-outcomes needs per-flow records, which streaming runs do not keep; drop -stream/-scale"))
 	}
+	if *traceSp && *traceOut == "" {
+		fail(fmt.Errorf("-trace-spill needs -trace <file>"))
+	}
+	if *traceSp && *shards > 1 {
+		fail(fmt.Errorf("-trace-spill streams to a single writer and needs the serial engine; drop -shards"))
+	}
 
 	cfg := pase.SimConfig{
 		IncludeFlowLog: *outcomes != "",
@@ -86,6 +95,8 @@ func main() {
 		Stream:         *stream,
 		Shards:         *shards,
 		FlowTrace:      *flowLog != "",
+		SpanTrace:      *traceOut != "",
+		TraceSampleN:   *traceN,
 		PASE: pase.PASEOptions{
 			LocalOnly:      *localOnly,
 			NoPruning:      *noPrune,
@@ -95,7 +106,9 @@ func main() {
 			DisableProbing: *noProbing,
 		},
 	}
-	if *queueLog != "" {
+	if *queueLog != "" || *traceOut != "" {
+		// -trace also samples queues: the occupancies become counter
+		// tracks in the Perfetto output.
 		cfg.QueueTrace = *queueInt
 	}
 	if *faultSpec != "" {
@@ -104,6 +117,32 @@ func main() {
 			fail(err)
 		}
 		cfg.Faults = plan
+	}
+
+	// Spill mode opens the outputs up front: the trace streams while
+	// the run executes instead of being written afterwards.
+	var spills []func() error
+	openSpill := func(path string) io.Writer {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		w := bufio.NewWriter(f)
+		spills = append(spills, func() error {
+			if err := w.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+		return w
+	}
+	if *traceSp {
+		cfg.TraceSpill = openSpill(*traceOut)
+	}
+	flowLogSpills := *stream && *flowLog != "" && *shards <= 1
+	if flowLogSpills {
+		cfg.FlowTraceSpill = openSpill(*flowLog)
 	}
 
 	stopCPU, err := cliutil.StartCPUProfile(*cpuProf)
@@ -115,8 +154,8 @@ func main() {
 	started := time.Now()
 	var reps []*pase.Report
 	if *seeds > 1 {
-		if *flowLog != "" || *queueLog != "" || *outcomes != "" {
-			fail(fmt.Errorf("-flowlog/-queuetrace/-outcomes need a single run; drop -seeds"))
+		if *flowLog != "" || *queueLog != "" || *outcomes != "" || *traceOut != "" {
+			fail(fmt.Errorf("-flowlog/-queuetrace/-outcomes/-trace need a single run; drop -seeds"))
 		}
 		meter := cliutil.NewProgress(fmt.Sprintf("%s @ %.0f%%", *protocol, *load*100), *progress)
 		cfg.Progress = meter.Update
@@ -133,11 +172,31 @@ func main() {
 		}
 		reps = []*pase.Report{rep}
 		printReport(cfg, rep, *cdf)
-		if *flowLog != "" {
-			if err := writeTo(*flowLog, rep.WriteFlowTrace); err != nil {
+		for _, fin := range spills {
+			if err := fin(); err != nil {
 				fail(err)
 			}
-			fmt.Printf("flow trace      %s (%d events)\n", *flowLog, rep.FlowTraceLen())
+		}
+		if *flowLog != "" {
+			if flowLogSpills {
+				fmt.Printf("flow trace      %s (streamed)\n", *flowLog)
+			} else {
+				if err := writeTo(*flowLog, rep.WriteFlowTrace); err != nil {
+					fail(err)
+				}
+				fmt.Printf("flow trace      %s (%d events)\n", *flowLog, rep.FlowTraceLen())
+			}
+		}
+		if *traceOut != "" {
+			if *traceSp {
+				fmt.Printf("span trace      %s (streamed)\n", *traceOut)
+			} else {
+				if err := writeTo(*traceOut, rep.WritePerfetto); err != nil {
+					fail(err)
+				}
+				fmt.Printf("span trace      %s (%d flows, digest %016x)\n",
+					*traceOut, rep.SpanTraceLen(), rep.TraceDigest())
+			}
 		}
 		if *queueLog != "" {
 			if err := writeTo(*queueLog, rep.WriteQueueTrace); err != nil {

@@ -1,8 +1,11 @@
 package arbitration
 
 import (
+	"fmt"
+
 	"pase/internal/check"
 	"pase/internal/netem"
+	"pase/internal/obs"
 	"pase/internal/pkt"
 	"pase/internal/sim"
 	"pase/internal/topology"
@@ -73,6 +76,40 @@ type ControlFaults interface {
 	CtrlExtraDelay() sim.Duration
 }
 
+// CtrlOutcome classifies how one arbitration half-exchange ended.
+type CtrlOutcome uint8
+
+const (
+	// CtrlOK: the request climbed the hierarchy and the response was
+	// scheduled after the modelled latency.
+	CtrlOK CtrlOutcome = iota
+	// CtrlReqDropped: the fault injector lost the request leg.
+	CtrlReqDropped
+	// CtrlRespDropped: the fault injector lost the response leg.
+	CtrlRespDropped
+	// CtrlDeadArb: the bottom-up walk hit a crashed arbitrator.
+	CtrlDeadArb
+)
+
+// CtrlEvent describes one arbitration half-exchange for observers:
+// which flow asked, which half, how far up the hierarchy the request
+// climbed (Level: 0 = resolved at the host-local arbitrator), when it
+// started, the modelled response latency (0 unless CtrlOK) and how it
+// ended. The flight recorder consumes these as control-plane spans.
+type CtrlEvent struct {
+	Flow    pkt.FlowID
+	SrcSide bool
+	Level   int
+	Start   sim.Time
+	Latency sim.Duration
+	Outcome CtrlOutcome
+}
+
+// CtrlLevels bounds the per-level RTT histograms: Level is the hop
+// count past the host-local arbitrator, at most 2 in a 3-tier fabric
+// (host→ToR→agg→core), so 4 leaves headroom.
+const CtrlLevels = 4
+
 // System is the fabric-wide arbitration control plane.
 type System struct {
 	P   Params
@@ -81,6 +118,21 @@ type System struct {
 
 	// Faults, when set, injects control-plane message loss and delay.
 	Faults ControlFaults
+
+	// OnCtrl, when set, observes every arbitration half-exchange
+	// (including ones the fault injector killed). Nil — the default —
+	// costs one pointer test per refresh half.
+	OnCtrl func(ev CtrlEvent)
+
+	inflight int64 // live (not yet released) client allocations
+
+	o struct {
+		rtt      [CtrlLevels]*obs.Histogram
+		inflight *obs.Gauge
+		reqDrop  *obs.Counter
+		respDrop *obs.Counter
+		dead     *obs.Counter
+	}
 
 	// arbs maps topology link ID -> arbitrator for flows that consult
 	// the real (non-delegated) link.
@@ -223,6 +275,29 @@ func (sys *System) countMessages(n int64) {
 	sys.Stats.Bytes += n * pkt.CtrlSize
 }
 
+// Instrument attaches control-plane observability to the system: the
+// arbitration round-trip log2-histograms split by hierarchy level
+// (arb/rtt/level<d>, nanoseconds), the live-allocation gauge
+// (arb/inflight_allocs, current + high-watermark) and the fault
+// outcome counters. A nil registry detaches (the default; every
+// instrument is nil-safe).
+func (sys *System) Instrument(reg *obs.Registry) {
+	for d := 0; d < CtrlLevels; d++ {
+		sys.o.rtt[d] = reg.Histogram(fmt.Sprintf("arb/rtt/level%d", d))
+	}
+	sys.o.inflight = reg.Gauge("arb/inflight_allocs")
+	sys.o.reqDrop = reg.Counter("arb/ctrl_req_dropped")
+	sys.o.respDrop = reg.Counter("arb/ctrl_resp_dropped")
+	sys.o.dead = reg.Counter("arb/ctrl_dead_arb")
+}
+
+// emitCtrl hands one half-exchange to the observer hook.
+func (sys *System) emitCtrl(ev CtrlEvent) {
+	if sys.OnCtrl != nil {
+		sys.OnCtrl(ev)
+	}
+}
+
 // AttachCheck installs a runtime invariant checker on every
 // arbitrator of the system — physical links and delegated virtual
 // slices alike. Nil detaches (the default).
@@ -311,6 +386,8 @@ type Client struct {
 // NewClient creates the per-flow arbitration handle.
 func (sys *System) NewClient(flow pkt.FlowID, src, dst pkt.NodeID) *Client {
 	sys.Stats.Setups++
+	sys.inflight++
+	sys.o.inflight.Update(sys.inflight)
 	return &Client{
 		sys:      sys,
 		flow:     flow,
@@ -391,10 +468,14 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 	// half always does (the setup travels to the receiver and back);
 	// the src half only when arbitration may climb past the host-local
 	// access-link arbitrator.
+	start := sys.eng.Now()
 	fi := sys.Faults
 	remote := !srcSide || (!p.LocalOnly && len(links) > 1)
 	if fi != nil && remote && fi.DropRequest() {
-		return // request lost in the fabric; the endpoint retries
+		// Request lost in the fabric; the endpoint retries.
+		sys.o.reqDrop.Inc()
+		sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: srcSide, Start: start, Outcome: CtrlReqDropped})
+		return
 	}
 
 	worst := Decision{Queue: 0, Rref: netem.BitRate(1 << 62)}
@@ -449,6 +530,8 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 	}
 	sys.countMessages(int64(2 * depth))
 	if dead {
+		sys.o.dead.Inc()
+		sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: srcSide, Level: depth, Start: start, Outcome: CtrlDeadArb})
 		return
 	}
 
@@ -460,10 +543,19 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 	}
 	if fi != nil && remote {
 		if fi.DropResponse() {
-			return // response lost on the way back; the endpoint retries
+			// Response lost on the way back; the endpoint retries.
+			sys.o.respDrop.Inc()
+			sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: srcSide, Level: depth, Start: start, Outcome: CtrlRespDropped})
+			return
 		}
 		latency += fi.CtrlExtraDelay()
 	}
+	lvl := depth
+	if lvl >= CtrlLevels {
+		lvl = CtrlLevels - 1
+	}
+	sys.o.rtt[lvl].Observe(int64(latency))
+	sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: srcSide, Level: depth, Start: start, Latency: latency, Outcome: CtrlOK})
 	result := worst
 	sys.eng.Schedule(latency, func() {
 		if c.released {
@@ -489,6 +581,8 @@ func (c *Client) Release() {
 	}
 	c.released = true
 	c.sys.Stats.Releases++
+	c.sys.inflight--
+	c.sys.o.inflight.Update(c.sys.inflight)
 	remove := func(links []*topology.Link, leaf pkt.NodeID, localFirst bool) {
 		rack := c.sys.net.RackOf(leaf)
 		// Releases are one-way and unacknowledged; a lost one leaves

@@ -74,23 +74,44 @@ type Transport struct {
 	Sys *arbitration.System
 	Cfg Config
 
+	// Flight-recorder hooks, all optional (nil = off) and invoked off
+	// the per-packet hot path:
+	//
+	//	OnGrant    — the flow's first usable arbitration response was
+	//	             adopted (q is the assigned priority queue)
+	//	OnEpoch    — the flow switched onto priority queue q (every
+	//	             adoption, including the grant and the fallback's
+	//	             forced bottom queue)
+	//	OnFallback — the flow gave up on the control plane and entered
+	//	             DCTCP-mode fallback
+	//	OnResync   — the flow re-adopted a fresh allocation after a
+	//	             fallback
+	OnGrant    func(s *transport.Sender, q int8)
+	OnEpoch    func(s *transport.Sender, q int8)
+	OnFallback func(s *transport.Sender)
+	OnResync   func(s *transport.Sender)
+
 	o struct {
 		retries   *obs.Counter
 		reuse     *obs.Counter
 		fallbacks *obs.Counter
 		resyncs   *obs.Counter
+		waitCtrl  *obs.Histogram
 	}
 }
 
 // Instrument registers the degradation-path counters: arbitration
 // retries, allocation reuses across missed responses, DCTCP fallbacks
-// and post-recovery re-synchronizations. Safe to skip (nil counters
-// are no-ops).
+// and post-recovery re-synchronizations — plus the wait-for-control
+// histogram (time from flow arrival to first transmission clearance,
+// the critical-path "waiting for control" term). Safe to skip (nil
+// counters are no-ops).
 func (t *Transport) Instrument(reg *obs.Registry) {
 	t.o.retries = reg.Counter("pase/arb_retries")
 	t.o.reuse = reg.Counter("pase/arb_reuse")
 	t.o.fallbacks = reg.Counter("pase/fallbacks")
 	t.o.resyncs = reg.Counter("pase/resyncs")
+	t.o.waitCtrl = reg.Histogram("pase/wait_ctrl_ns")
 }
 
 // Attach installs PASE on every stack of the driver.
@@ -253,6 +274,11 @@ func (c *control) scheduleRefresh(s *transport.Sender) {
 func (c *control) enterFallback(s *transport.Sender) {
 	c.fallback = true
 	c.t.o.fallbacks.Inc()
+	if !c.started {
+		// The flow never got a grant: the fallback is what finally
+		// clears it to transmit.
+		c.t.o.waitCtrl.Observe(int64(s.Now().Sub(s.Spec.Start)))
+	}
 	c.started = true
 	c.guarding = false
 	c.probeMode = false
@@ -263,6 +289,12 @@ func (c *control) enterFallback(s *transport.Sender) {
 	s.Cwnd = 1
 	c.isInterQueue = false
 	c.updateHold(s)
+	if c.t.OnFallback != nil {
+		c.t.OnFallback(s)
+	}
+	if c.t.OnEpoch != nil {
+		c.t.OnEpoch(s, c.activePrio)
+	}
 	s.Kick()
 }
 
@@ -281,6 +313,9 @@ func (c *control) onArbitration(s *transport.Sender) {
 		// and re-adopt the fresh allocation in full.
 		c.fallback = false
 		c.t.o.resyncs.Inc()
+		if c.t.OnResync != nil {
+			c.t.OnResync(s)
+		}
 	}
 	d := c.client.Combined()
 	c.rref = d.Rref
@@ -290,6 +325,10 @@ func (c *control) onArbitration(s *transport.Sender) {
 			return
 		}
 		c.started = true
+		c.t.o.waitCtrl.Observe(int64(s.Now().Sub(s.Spec.Start)))
+		if c.t.OnGrant != nil {
+			c.t.OnGrant(s, d.Queue)
+		}
 		c.adopt(s, d.Queue)
 		c.applyWindow(s)
 		c.updateHold(s)
@@ -346,6 +385,9 @@ func (c *control) adopt(s *transport.Sender, q int8) {
 	}
 	if !c.probeMode {
 		c.probeTimer.Stop()
+	}
+	if c.t.OnEpoch != nil {
+		c.t.OnEpoch(s, q)
 	}
 }
 

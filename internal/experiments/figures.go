@@ -56,11 +56,19 @@ type Opts struct {
 	// Shards splits every point's fabric across this many
 	// independently-clocked engine shards (0 or 1 = serial). Results are
 	// byte-identical to serial runs at every setting; points that cannot
-	// shard (PASE, PDQ, traces, single-atom topologies) silently fall
-	// back to the serial engine. Note the multiplicative core budget
-	// with Parallelism: a pooled figure runs up to
-	// Parallelism × Shards goroutines at once.
+	// shard (PASE, PDQ, spill-mode trace writers, single-atom
+	// topologies) silently fall back to the serial engine. Note the
+	// multiplicative core budget with Parallelism: a pooled figure runs
+	// up to Parallelism × Shards goroutines at once.
 	Shards int
+	// Trace applies a trace configuration to every point that does not
+	// carry its own. Figure grids keep only scalars per point, so the
+	// recorded traces themselves are dropped — but the flight
+	// recorder's retention stats (trace/*) and PASE's per-level
+	// arbitration RTT histograms (arb/rtt/*) land in the merged Obs
+	// snapshot. Spill writers are rejected here: points run
+	// concurrently and a single writer cannot be shared.
+	Trace TraceConfig
 }
 
 func (o Opts) seeds() int {

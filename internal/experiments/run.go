@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"pase/internal/check"
 	"pase/internal/core"
@@ -91,10 +92,35 @@ type TraceConfig struct {
 	// QueueSample, when positive, samples every queue's occupancy at
 	// this interval.
 	QueueSample sim.Duration
+	// Spans enables the span-based flight recorder: per-flow lifecycle
+	// spans (wait-for-control, transmission epochs per priority queue,
+	// retx/timeout/fallback marks) plus control-plane exchange spans,
+	// merged into PointResult.Trace in canonical order.
+	Spans bool
+	// SampleN keeps 1 in N flow traces (0 or 1 = every flow). Flows
+	// that misbehaved — retransmissions, timeouts, fallback, abort —
+	// are always kept regardless of the draw.
+	SampleN int
+	// FlowCap / FlowLogCap / SampleCap bound the retained flow traces,
+	// flow-log events and queue samples (0 = package defaults).
+	FlowCap    int
+	FlowLogCap int
+	SampleCap  int
+	// FlowLogWriter, with FlowLog, streams flow events to this writer
+	// as canonical TSV instead of retaining them — the bounded-memory
+	// pairing for Stream runs. Serial only (forces the serial engine).
+	FlowLogWriter io.Writer
+	// SpanWriter, with Spans, streams the Perfetto trace at flow
+	// completion instead of retaining traces. Serial only.
+	SpanWriter io.Writer
 }
 
 // Enabled reports whether any tracing is requested.
-func (t TraceConfig) Enabled() bool { return t.FlowLog || t.QueueSample > 0 }
+func (t TraceConfig) Enabled() bool { return t.FlowLog || t.QueueSample > 0 || t.Spans }
+
+// spills reports whether any trace output streams to a writer; spill
+// streams have a single writer, so spilling runs stay serial.
+func (t TraceConfig) spills() bool { return t.FlowLogWriter != nil || t.SpanWriter != nil }
 
 // PointConfig is one (protocol, scenario, load) simulation.
 type PointConfig struct {
@@ -134,9 +160,11 @@ type PointConfig struct {
 	SketchEps float64
 	// Shards splits the single run across this many engine shards
 	// synchronized by conservative lookahead (0 or 1 = serial).
-	// Results are byte-identical to serial at every shard count.
-	// Protocols with fabric-synchronous control planes (PASE, PDQ),
-	// traced runs, and single-atom fabrics fall back to serial — the
+	// Results are byte-identical to serial at every shard count —
+	// including trace output: traced runs shard too, recording into
+	// per-shard buffers merged in canonical order. Protocols with
+	// fabric-synchronous control planes (PASE, PDQ), spill-mode trace
+	// writers, and single-atom fabrics fall back to serial — the
 	// shard/fallback_serial counter records it when Obs is set.
 	Shards int
 }
@@ -166,6 +194,10 @@ type PointResult struct {
 	// FlowEvents / QueueSamples hold the optional traces.
 	FlowEvents   []trace.FlowEvent
 	QueueSamples []trace.QueueSample
+	// Trace is the flight recording (nil unless TraceConfig.Spans was
+	// set). In spill mode the flow traces have already streamed to the
+	// writer; Trace still carries control spans, stats and meta.
+	Trace *trace.RunTrace
 }
 
 // scenarioSpec bundles what a scenario needs.
@@ -454,6 +486,7 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 		ec.TaskAware = cfg.PASE.TaskAware
 		paseSys, paseT = core.Attach(d, p, ec)
 		paseT.Instrument(reg)
+		paseSys.Instrument(reg)
 		if chk != nil {
 			paseSys.AttachCheck(chk)
 		}
@@ -467,36 +500,48 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 	}
 
 	// Tracing hooks chain after protocol attach: PDQ and PASE claim
-	// OnFlowDone above, and the flow log must observe those runs too.
+	// OnFlowDone above, and the traces must observe those runs too.
+	// None of the hooks schedule events; only the sampler does, and it
+	// is created last so its setup slot mirrors the sharded path.
 	var flog *trace.FlowLog
 	var sampler *trace.Sampler
+	var rec *trace.Recorder
+	var srec *trace.ShardRecorder
+	var pstream *trace.PerfettoStream
 	if cfg.Trace.FlowLog {
-		flog = &trace.FlowLog{}
-		d.OnFlowStart = func(s *transport.Sender) {
-			flog.Add(trace.FlowEvent{
-				At: eng.Now(), Kind: "start",
-				Flow: s.Spec.ID, Src: s.Spec.Src, Dst: s.Spec.Dst, Size: s.Spec.Size,
-			})
-		}
-		prevDone := d.OnFlowDone
-		d.OnFlowDone = func(s *transport.Sender) {
-			e := trace.FlowEvent{
-				At: eng.Now(), Kind: "done",
-				Flow: s.Spec.ID, Src: s.Spec.Src, Dst: s.Spec.Dst, Size: s.Spec.Size,
-			}
-			if s.Aborted {
-				e.Kind = "abort"
-			} else {
-				e.FCT = s.FinishTime.Sub(s.Spec.Start)
-			}
-			flog.Add(e)
-			if prevDone != nil {
-				prevDone(s)
+		flog = &trace.FlowLog{Cap: traceCap(cfg.Trace.FlowLogCap, trace.DefaultFlowLogCap)}
+		if cfg.Trace.FlowLogWriter != nil {
+			if err := flog.SpillTo(cfg.Trace.FlowLogWriter); err != nil {
+				panic(err)
 			}
 		}
 	}
+	if cfg.Trace.Spans {
+		rec = trace.NewRecorder(trace.RecorderConfig{
+			SampleN: cfg.Trace.SampleN, Seed: cfg.Seed, FlowCap: cfg.Trace.FlowCap,
+		})
+		if cfg.Trace.SpanWriter != nil {
+			pstream = trace.NewPerfettoStream(cfg.Trace.SpanWriter)
+			rec.SpillTo(pstream)
+		}
+		srec = rec.Shard(eng)
+		rec.SetMeta(traceMeta(cfg, net))
+		if paseT != nil {
+			wirePASETraceHooks(srec, paseT, paseSys)
+		}
+	}
+	var flogOf func(pkt.NodeID) *trace.FlowLog
+	if flog != nil {
+		flogOf = func(pkt.NodeID) *trace.FlowLog { return flog }
+	}
+	var recOf func(pkt.NodeID) *trace.ShardRecorder
+	if srec != nil {
+		recOf = func(pkt.NodeID) *trace.ShardRecorder { return srec }
+	}
+	wireTraceHooks(cfg, d, flogOf, recOf)
 	if cfg.Trace.QueueSample > 0 {
 		sampler = trace.NewSampler(eng, cfg.Trace.QueueSample, trace.AllPorts(net))
+		sampler.Cap = traceCap(cfg.Trace.SampleCap, trace.DefaultSampleCap)
 	}
 
 	spec := workload.Spec{
@@ -552,11 +597,30 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 		res.CtrlMessages = paseSys.Stats.Messages
 	}
 	if flog != nil {
-		res.FlowEvents = flog.Events()
+		if cfg.Trace.FlowLogWriter != nil {
+			if err := flog.FlushSpill(); err != nil {
+				panic(err)
+			}
+		} else {
+			// Canonicalize even in serial: execution order within one
+			// instant is not the (At, Flow, kind) order sharded merges
+			// produce, and the two must match byte for byte.
+			res.FlowEvents, _ = trace.MergeFlowEvents([]*trace.FlowLog{flog}, flog.Cap)
+		}
 	}
 	if sampler != nil {
 		sampler.Stop()
-		res.QueueSamples = sampler.Samples()
+		res.QueueSamples, _ = trace.MergeQueueSamples([]*trace.Sampler{sampler}, sampler.Cap)
+	}
+	if rec != nil {
+		rt := rec.Take()
+		rt.Queue = res.QueueSamples
+		if pstream != nil {
+			if err := rec.FinishSpill(rt); err != nil {
+				panic(err)
+			}
+		}
+		res.Trace = rt
 	}
 	if chk != nil && sc != nil && sc.Completed() > 0 {
 		sk := sc.Sketch()
@@ -577,6 +641,7 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 	if reg != nil {
 		scrapeRun(reg, eng, net, summary, paseSys, pdqSys)
 		scrapeCheck(reg, chk)
+		scrapeTrace(reg, res.Trace)
 		if sc != nil {
 			sk := sc.Sketch()
 			reg.Counter("metrics/sketch_adds").Add(sk.Count())
@@ -644,4 +709,143 @@ func scrapeRun(reg *obs.Registry, eng *sim.Engine, net *topology.Network,
 	if pdqSys != nil {
 		reg.Counter("pdq/sync_messages").Add(pdqSys.SyncMessages)
 	}
+}
+
+// traceCap resolves a retention-cap config value against its default.
+func traceCap(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// traceMeta describes the run for the trace header.
+func traceMeta(cfg PointConfig, net *topology.Network) trace.Meta {
+	return trace.Meta{
+		Proto:    string(cfg.Protocol),
+		Scenario: string(cfg.Scenario),
+		NICBps:   int64(net.Hosts[0].Port().Rate()),
+	}
+}
+
+// scrapeTrace folds the flight recorder's retention stats into the
+// registry so run manifests report what the trace kept and shed.
+func scrapeTrace(reg *obs.Registry, rt *trace.RunTrace) {
+	if rt == nil {
+		return
+	}
+	st := rt.Stats
+	reg.Counter("trace/flows_started").Add(st.FlowsStarted)
+	reg.Counter("trace/flows_final").Add(st.FlowsFinal)
+	reg.Counter("trace/flows_sampled_out").Add(st.FlowsSampledOut)
+	reg.Counter("trace/flows_evicted").Add(st.FlowsEvicted)
+	reg.Counter("trace/flows_unfinished").Add(st.FlowsUnfinished)
+	reg.Counter("trace/spans_truncated").Add(st.SpansTruncated)
+	reg.Counter("trace/ctrl_spans").Add(st.CtrlTotal)
+	reg.Counter("trace/ctrl_evicted").Add(st.CtrlEvicted)
+}
+
+// wireTraceHooks installs the flow-log and flight-recorder hooks on the
+// driver, chaining after any protocol-installed completion hook.
+// flogOf/recOf route a flow to its shard's instances by source host
+// (constant in serial runs); either may be nil when that trace is off.
+// The hooks observe only — they never schedule events — so installing
+// them cannot perturb the simulation.
+func wireTraceHooks(cfg PointConfig, d *transport.Driver,
+	flogOf func(src pkt.NodeID) *trace.FlowLog,
+	recOf func(src pkt.NodeID) *trace.ShardRecorder) {
+
+	if flogOf == nil && recOf == nil {
+		return
+	}
+	// PASE holds a new flow at the source until its first arbitration
+	// response; every other protocol transmits immediately.
+	held := cfg.Protocol == PASE
+	prevStart := d.OnFlowStart
+	d.OnFlowStart = func(s *transport.Sender) {
+		if flogOf != nil {
+			flogOf(s.Spec.Src).Add(trace.FlowEvent{
+				At: s.Now(), Kind: "start",
+				Flow: s.Spec.ID, Src: s.Spec.Src, Dst: s.Spec.Dst, Size: s.Spec.Size,
+			})
+		}
+		if recOf != nil {
+			recOf(s.Spec.Src).FlowArrive(s.Spec.ID, s.Spec.Src, s.Spec.Dst, s.Spec.Size, 0, held)
+		}
+		if prevStart != nil {
+			prevStart(s)
+		}
+	}
+	prevDone := d.OnFlowDone
+	d.OnFlowDone = func(s *transport.Sender) {
+		if flogOf != nil {
+			e := trace.FlowEvent{
+				At: s.Now(), Kind: "done",
+				Flow: s.Spec.ID, Src: s.Spec.Src, Dst: s.Spec.Dst, Size: s.Spec.Size,
+			}
+			if s.Aborted {
+				e.Kind = "abort"
+			} else {
+				e.FCT = s.FinishTime.Sub(s.Spec.Start)
+			}
+			flogOf(s.Spec.Src).Add(e)
+		}
+		if recOf != nil {
+			recOf(s.Spec.Src).FlowEnd(s.Spec.ID, s.Aborted)
+		}
+		if prevDone != nil {
+			prevDone(s)
+		}
+	}
+	if recOf != nil {
+		for _, st := range d.Stacks {
+			st.OnRetx = func(s *transport.Sender, seq int32) {
+				recOf(s.Spec.Src).Mark(s.Spec.ID, trace.MarkRetx, int64(seq))
+			}
+			st.OnTimeout = func(s *transport.Sender) {
+				recOf(s.Spec.Src).Mark(s.Spec.ID, trace.MarkTimeout, 0)
+			}
+		}
+	}
+}
+
+// wirePASETraceHooks connects the PASE endpoint and the arbitration
+// hierarchy to the flight recorder: allocation grants, epoch (priority
+// queue) transitions, fallback/resync marks and every control-plane
+// half-exchange. Serial only — PASE never shards.
+func wirePASETraceHooks(srec *trace.ShardRecorder, paseT *endhost.Transport, paseSys *arbitration.System) {
+	paseT.OnGrant = func(s *transport.Sender, q int8) {
+		srec.Mark(s.Spec.ID, trace.MarkGrant, int64(q))
+	}
+	paseT.OnEpoch = func(s *transport.Sender, q int8) {
+		srec.Epoch(s.Spec.ID, int(q))
+	}
+	paseT.OnFallback = func(s *transport.Sender) {
+		srec.Mark(s.Spec.ID, trace.MarkFallback, 0)
+	}
+	paseT.OnResync = func(s *transport.Sender) {
+		srec.Mark(s.Spec.ID, trace.MarkResync, 0)
+	}
+	paseSys.OnCtrl = func(ev arbitration.CtrlEvent) {
+		srec.Ctrl(trace.CtrlSpan{
+			Flow: ev.Flow, SrcSide: ev.SrcSide, Level: ev.Level,
+			Start: ev.Start, Latency: ev.Latency,
+			Outcome: ctrlOutcome(ev.Outcome),
+		})
+	}
+}
+
+// ctrlOutcome maps the arbitration layer's outcome to the trace
+// layer's (the packages are decoupled so netem/arbitration never
+// import tracing).
+func ctrlOutcome(o arbitration.CtrlOutcome) trace.CtrlOutcome {
+	switch o {
+	case arbitration.CtrlReqDropped:
+		return trace.CtrlReqDropped
+	case arbitration.CtrlRespDropped:
+		return trace.CtrlRespDropped
+	case arbitration.CtrlDeadArb:
+		return trace.CtrlDead
+	}
+	return trace.CtrlOK
 }

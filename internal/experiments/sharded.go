@@ -13,6 +13,7 @@ import (
 	"pase/internal/pkt"
 	"pase/internal/sim"
 	"pase/internal/topology"
+	"pase/internal/trace"
 	"pase/internal/transport"
 	"pase/internal/transport/d2tcp"
 	"pase/internal/transport/dctcp"
@@ -25,8 +26,10 @@ import (
 // ("" when sharding is possible). PASE's arbitration and PDQ's switch
 // state are fabric-synchronous — senders call into shared structures
 // inline, with no link delay between shards to hide the latency — so
-// those runs keep the serial engine. Tracing shares one log across
-// hosts, and a single-atom fabric has nothing to cut.
+// those runs keep the serial engine. Traced runs shard (per-shard
+// buffers, canonical merge), but spill-mode trace writers stream to a
+// single writer and stay serial. A single-atom fabric has nothing to
+// cut.
 func shardFallback(cfg PointConfig) string {
 	switch cfg.Protocol {
 	case PASE:
@@ -34,8 +37,8 @@ func shardFallback(cfg PointConfig) string {
 	case PDQ:
 		return "pdq"
 	}
-	if cfg.Trace.Enabled() {
-		return "trace"
+	if cfg.Trace.spills() {
+		return "trace_spill"
 	}
 	sp := scenario(cfg.Scenario)
 	var part *topology.Partition
@@ -256,6 +259,41 @@ func runPointSharded(cfg PointConfig) PointResult {
 		}
 	}
 
+	// Tracing: one flow log, flight recorder and sampler per shard,
+	// each touched only from its shard's goroutine, merged into the
+	// canonical order after the run. Hooks fire on the flow's
+	// source-host shard; the samplers are created last so their setup
+	// events hold the same relative slots as the serial path's.
+	var flogs []*trace.FlowLog
+	var flogOf func(pkt.NodeID) *trace.FlowLog
+	flogCap := traceCap(cfg.Trace.FlowLogCap, trace.DefaultFlowLogCap)
+	if cfg.Trace.FlowLog {
+		flogs = make([]*trace.FlowLog, nsh)
+		for i := range flogs {
+			flogs[i] = &trace.FlowLog{Cap: flogCap}
+		}
+		flogOf = func(src pkt.NodeID) *trace.FlowLog { return flogs[part.ShardOfID(src)] }
+	}
+	var rec *trace.Recorder
+	var recOf func(pkt.NodeID) *trace.ShardRecorder
+	if cfg.Trace.Spans {
+		rec = trace.NewRecorder(trace.RecorderConfig{
+			SampleN: cfg.Trace.SampleN, Seed: cfg.Seed, FlowCap: cfg.Trace.FlowCap,
+		})
+		srecs := make([]*trace.ShardRecorder, nsh)
+		for i := range srecs {
+			srecs[i] = rec.Shard(se.Shard(i))
+		}
+		rec.SetMeta(traceMeta(cfg, net))
+		recOf = func(src pkt.NodeID) *trace.ShardRecorder { return srecs[part.ShardOfID(src)] }
+	}
+	wireTraceHooks(cfg, d, flogOf, recOf)
+	var samplers []*trace.Sampler
+	sampCap := traceCap(cfg.Trace.SampleCap, trace.DefaultSampleCap)
+	if cfg.Trace.QueueSample > 0 {
+		samplers = shardSamplers(se, part, net, cfg.Trace.QueueSample, sampCap)
+	}
+
 	spec := workload.Spec{
 		Pattern:         sp.pattern(net),
 		Sizes:           sp.sizes,
@@ -333,6 +371,20 @@ func runPointSharded(cfg PointConfig) PointResult {
 	if att := host.EnqueuedData + host.DroppedData; att > 0 {
 		res.LossRate = float64(res.Queues.DroppedData) / float64(att)
 	}
+	if flogs != nil {
+		res.FlowEvents, _ = trace.MergeFlowEvents(flogs, flogCap)
+	}
+	if samplers != nil {
+		for _, s := range samplers {
+			s.Stop()
+		}
+		res.QueueSamples, _ = trace.MergeQueueSamples(samplers, sampCap)
+	}
+	if rec != nil {
+		rt := rec.Take()
+		rt.Queue = res.QueueSamples
+		res.Trace = rt
+	}
 	if chks != nil && sc != nil && sc.Completed() > 0 {
 		sk := sc.Sketch()
 		chks[0].SketchBounds("metrics/stream",
@@ -353,6 +405,7 @@ func runPointSharded(cfg PointConfig) PointResult {
 	}
 	if cfg.Obs {
 		scrapeRun(coordReg, se.Shard(0), net, summary, nil, nil)
+		scrapeTrace(coordReg, res.Trace)
 		if chks != nil {
 			coordReg.Counter("check/enabled").Inc()
 			for _, chk := range chks {
@@ -385,6 +438,31 @@ func runPointSharded(cfg PointConfig) PointResult {
 		panic("experiments: PASE_CHECK sharded run failed: " + sums)
 	}
 	return res
+}
+
+// shardSamplers builds one queue sampler per shard over the ports that
+// shard clocks, carrying the run-wide port indices so the merged
+// streams keep the serial (At, Idx) order. Samplers are created in
+// shard order so their setup events take deterministic rank slots.
+func shardSamplers(se *sim.ShardedEngine, part *topology.Partition, net *topology.Network,
+	every sim.Duration, cap int) []*trace.Sampler {
+
+	all := trace.AllPorts(net)
+	nsh := part.Shards
+	ports := make([][]*netem.Port, nsh)
+	idx := make([][]int, nsh)
+	for i, p := range all {
+		sh := part.ShardOf(p.Owner())
+		ports[sh] = append(ports[sh], p)
+		idx[sh] = append(idx[sh], i)
+	}
+	out := make([]*trace.Sampler, nsh)
+	for i := 0; i < nsh; i++ {
+		out[i] = trace.NewSampler(se.Shard(i), every, ports[i])
+		out[i].Idx = idx[i]
+		out[i].Cap = cap
+	}
+	return out
 }
 
 // runShardedStream drives a streaming workload across the shards: the

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome/Perfetto trace-event JSON export.
+//
+// The layout: process 1 ("flows") holds one track per flow — an
+// enclosing "flow <id>" span with the wait/transmit phase spans nested
+// inside it and instant events for the marks; process 2
+// ("arbitration") holds the control-plane exchanges, with s/f
+// flow-arrows tying each completed exchange back to its flow's track;
+// process 3 ("queues") carries queue occupancy as counter tracks.
+// Timestamps are microseconds with nanosecond fractions, so nothing is
+// truncated. The emission is hand-rolled and fully deterministic: no
+// maps, no floats, fixed key order.
+
+// Perfetto process ids.
+const (
+	pidFlows  = 1
+	pidCtrl   = 2
+	pidQueues = 3
+)
+
+// PerfettoStream writes trace-event JSON incrementally: Begin, any
+// number of Flows calls (flow traces in canonical order), Finish. The
+// spill path of the Recorder drives it flow-group by flow-group; the
+// buffered path drives it once via RunTrace.WritePerfetto.
+type PerfettoStream struct {
+	b     *bufio.Writer
+	n     int // events written (comma bookkeeping)
+	arrow int // flow-arrow id allocator
+	began bool
+	err   error
+}
+
+// NewPerfettoStream wraps w; nothing is written until Begin.
+func NewPerfettoStream(w io.Writer) *PerfettoStream {
+	return &PerfettoStream{b: bufio.NewWriter(w)}
+}
+
+// Begin writes the header and process metadata. Must be called once,
+// before any Flows call.
+func (ps *PerfettoStream) Begin(meta Meta) {
+	if ps.began {
+		return
+	}
+	ps.began = true
+	fmt.Fprintf(ps.b,
+		`{"displayTimeUnit":"ns","otherData":{"tool":"pase","proto":%q,"scenario":%q,"nic_bps":"%d","sample_n":"%d","seed":"%d"},"traceEvents":[`,
+		meta.Proto, meta.Scenario, meta.NICBps, meta.SampleN, meta.Seed)
+	ps.event(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"flows"}}`, pidFlows)
+	ps.event(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"arbitration"}}`, pidCtrl)
+	ps.event(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"queues"}}`, pidQueues)
+}
+
+// event writes one comma-separated JSON object.
+func (ps *PerfettoStream) event(format string, args ...any) {
+	if ps.n > 0 {
+		ps.b.WriteString(",\n")
+	} else {
+		ps.b.WriteString("\n")
+	}
+	ps.n++
+	fmt.Fprintf(ps.b, format, args...)
+}
+
+// ts renders a sim time/duration (ns) as fractional microseconds —
+// the trace-event unit — without losing sub-µs precision.
+func ts(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// Flows emits the events of a batch of flow traces (already in
+// canonical order).
+func (ps *PerfettoStream) Flows(fts []*FlowTrace) {
+	for _, ft := range fts {
+		dur := int64(ft.End.Sub(ft.Start))
+		ps.event(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"flow %d","cat":"flow","args":{"src":%d,"dst":%d,"size":%d,"flagged":%t,"aborted":%t,"truncated":%d}}`,
+			pidFlows, ft.Flow, ts(int64(ft.Start)), ts(dur), ft.Flow,
+			ft.Src, ft.Dst, ft.Size, ft.Flagged, ft.Aborted, ft.Truncated)
+		for _, sp := range ft.Spans {
+			name := "wait-ctrl"
+			if sp.Kind == SpanXfer {
+				name = fmt.Sprintf("xfer q%d", sp.Prio)
+			}
+			ps.event(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"phase","args":{"prio":%d}}`,
+				pidFlows, ft.Flow, ts(int64(sp.Start)), ts(int64(sp.End.Sub(sp.Start))), name, sp.Prio)
+		}
+		for _, m := range ft.Marks {
+			ps.event(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%q,"cat":"mark","args":{"arg":%d}}`,
+				pidFlows, ft.Flow, ts(int64(m.At)), m.Kind.String(), m.Arg)
+		}
+	}
+}
+
+// Finish writes the control-plane and queue sections, closes the JSON
+// and flushes. It returns the first underlying write error.
+func (ps *PerfettoStream) Finish(ctrl []CtrlSpan, queue []QueueSample) error {
+	if !ps.began {
+		panic("trace: PerfettoStream.Finish before Begin")
+	}
+	for _, c := range ctrl {
+		side := "dst"
+		if c.SrcSide {
+			side = "src"
+		}
+		ps.event(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"arb %s L%d","cat":"ctrl","args":{"outcome":%q,"level":%d}}`,
+			pidCtrl, c.Flow, ts(int64(c.Start)), ts(int64(c.Latency)),
+			side, c.Level, c.Outcome.String(), c.Level)
+		if c.Outcome == CtrlOK && c.Latency > 0 {
+			ps.arrow++
+			done := int64(c.Start) + int64(c.Latency)
+			ps.event(`{"ph":"s","pid":%d,"tid":%d,"ts":%s,"id":%d,"name":"arb","cat":"arbflow"}`,
+				pidCtrl, c.Flow, ts(int64(c.Start)), ps.arrow)
+			ps.event(`{"ph":"f","bp":"e","pid":%d,"tid":%d,"ts":%s,"id":%d,"name":"arb","cat":"arbflow"}`,
+				pidFlows, c.Flow, ts(done), ps.arrow)
+		}
+	}
+	for _, q := range queue {
+		ps.event(`{"ph":"C","pid":%d,"ts":%s,"name":%q,"args":{"pkts":%d,"bytes":%d}}`,
+			pidQueues, ts(int64(q.At)), q.Port, q.Len, q.Bytes)
+	}
+	ps.b.WriteString("\n]}\n")
+	if err := ps.b.Flush(); err != nil {
+		return err
+	}
+	return ps.err
+}
+
+// WritePerfetto exports the trace as Chrome/Perfetto trace-event JSON.
+// The output is byte-identical for byte-identical traces — shard count
+// and parallelism never change it.
+func (rt *RunTrace) WritePerfetto(w io.Writer) error {
+	ps := NewPerfettoStream(w)
+	ps.Begin(rt.Meta)
+	ps.Flows(rt.Flows)
+	return ps.Finish(rt.Ctrl, rt.Queue)
+}

@@ -240,6 +240,9 @@ func (s *Sender) transmit(seq int32) {
 		s.Retx++
 		s.retransmitted[seq] = true
 		s.st.obs.retx.Inc()
+		if s.st.OnRetx != nil {
+			s.st.OnRetx(s, seq)
+		}
 	}
 	s.st.Host.Send(p)
 }
@@ -469,6 +472,9 @@ func (s *Sender) onTimeout() {
 	}
 	s.Timeouts++
 	s.st.obs.timeouts.Inc()
+	if s.st.OnTimeout != nil {
+		s.st.OnTimeout(s)
+	}
 	if s.backoff < maxRTOBackoff {
 		s.backoff++
 	}

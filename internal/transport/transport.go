@@ -78,6 +78,12 @@ type Stack struct {
 	// packets addressed to this host (PASE wires its arbitration
 	// client here).
 	CtrlHandler func(p *pkt.Packet)
+	// OnRetx / OnTimeout, when set, observe every retransmitted data
+	// segment and every RTO firing — the flight recorder's flagging
+	// hooks. Nil (the default) costs one pointer test on paths that
+	// only run when a flow already misbehaved.
+	OnRetx    func(s *Sender, seq int32)
+	OnTimeout func(s *Sender)
 
 	senders   map[pkt.FlowID]*Sender
 	receivers map[pkt.FlowID]*receiver

@@ -199,6 +199,27 @@ type SimConfig struct {
 	// QueueTrace > 0 samples every port's queue occupancy at this
 	// interval; write the samples with Report.WriteQueueTrace.
 	QueueTrace time.Duration
+	// SpanTrace records the span-based flight recording: per-flow
+	// lifecycle spans (waiting for the control plane, transmission
+	// epochs per priority queue, retransmission/timeout/fallback
+	// marks) plus PASE's control-plane exchanges through the
+	// arbitrator hierarchy. Export with Report.WritePerfetto. Traced
+	// runs shard and stream like untraced ones, and the exported bytes
+	// are identical at every shard count and parallelism.
+	SpanTrace bool
+	// TraceSampleN keeps 1 in N flow traces (0 or 1 = every flow),
+	// seed-driven so re-runs trace the same flows. Flows that
+	// misbehaved — retransmissions, timeouts, control-plane fallback,
+	// aborts — are always kept regardless of the draw.
+	TraceSampleN int
+	// TraceSpill, with SpanTrace, streams the Perfetto trace to this
+	// writer as flows complete instead of retaining traces in memory —
+	// the O(in-flight) pairing for Stream runs. Forces the serial
+	// engine; Report.WritePerfetto then has nothing left to write.
+	TraceSpill io.Writer
+	// FlowTraceSpill, with FlowTrace, streams the flow-event TSV the
+	// same way. Forces the serial engine.
+	FlowTraceSpill io.Writer
 	// Progress, if set, is called by SimulateSeeds after each seed's
 	// run completes with (done, total). It may be invoked concurrently
 	// from worker goroutines.
@@ -222,10 +243,11 @@ type SimConfig struct {
 	// Shards partitions the fabric across this many independently
 	// clocked engine shards synchronized by conservative lookahead
 	// (0 or 1 = serial). Results are byte-identical to a serial run at
-	// every shard count. Runs that cannot shard — PASE and PDQ (their
-	// control planes are fabric-synchronous), traced runs, and
-	// single-rack topologies — silently fall back to the serial engine
-	// (the shard/fallback_serial counter records it when Obs is set).
+	// every shard count — trace output included. Runs that cannot
+	// shard — PASE and PDQ (their control planes are
+	// fabric-synchronous), spill-mode trace writers, and single-rack
+	// topologies — silently fall back to the serial engine (the
+	// shard/fallback_serial counter records it when Obs is set).
 	Shards int
 	// PASE ablation switches (PASE protocol only).
 	PASE PASEOptions
@@ -279,6 +301,7 @@ type Report struct {
 
 	flowEvents   []trace.FlowEvent
 	queueSamples []trace.QueueSample
+	runTrace     *trace.RunTrace
 }
 
 // FlowTraceLen and QueueTraceLen report how much trace data the run
@@ -286,14 +309,46 @@ type Report struct {
 func (r *Report) FlowTraceLen() int  { return len(r.flowEvents) }
 func (r *Report) QueueTraceLen() int { return len(r.queueSamples) }
 
+// SpanTraceLen reports how many flow traces the flight recorder kept
+// (zero unless SimConfig.SpanTrace was set; zero in spill mode, where
+// traces stream out as flows complete).
+func (r *Report) SpanTraceLen() int {
+	if r.runTrace == nil {
+		return 0
+	}
+	return len(r.runTrace.Flows)
+}
+
+// TraceDigest folds the flight recording's canonical content into one
+// hash — equal digests mean byte-identical exports. Zero without
+// SpanTrace.
+func (r *Report) TraceDigest() uint64 {
+	if r.runTrace == nil {
+		return 0
+	}
+	return r.runTrace.Digest()
+}
+
+// WritePerfetto exports the flight recording as Chrome/Perfetto
+// trace-event JSON: flows as spans on a "flows" track, arbitration
+// exchanges as spans plus flow arrows on an "arbitration" track, and
+// queue occupancies as counter tracks. Load the file in
+// https://ui.perfetto.dev or chrome://tracing.
+func (r *Report) WritePerfetto(w io.Writer) error {
+	if r.runTrace == nil {
+		return fmt.Errorf("pase: no span trace recorded (set SimConfig.SpanTrace; with TraceSpill the trace already streamed)")
+	}
+	return r.runTrace.WritePerfetto(w)
+}
+
 // WriteFlowTrace emits the flow lifecycle events as TSV
-// (time_us, kind, flow, src, dst, size, fct_us).
+// (time_ns, kind, flow, src, dst, size, fct_ns).
 func (r *Report) WriteFlowTrace(w io.Writer) error {
 	return trace.WriteFlowEvents(w, r.flowEvents)
 }
 
 // WriteQueueTrace emits the sampled queue occupancies as TSV
-// (time_us, port, qlen, qbytes).
+// (time_ns, port, qlen, qbytes).
 func (r *Report) WriteQueueTrace(w io.Writer) error {
 	return trace.WriteQueueSamples(w, r.queueSamples)
 }
@@ -345,8 +400,12 @@ func pointConfig(cfg SimConfig) experiments.PointConfig {
 		SketchEps: cfg.SketchEps,
 		Shards:    cfg.Shards,
 		Trace: experiments.TraceConfig{
-			FlowLog:     cfg.FlowTrace,
-			QueueSample: sim.Duration(cfg.QueueTrace),
+			FlowLog:       cfg.FlowTrace,
+			QueueSample:   sim.Duration(cfg.QueueTrace),
+			Spans:         cfg.SpanTrace,
+			SampleN:       cfg.TraceSampleN,
+			SpanWriter:    cfg.TraceSpill,
+			FlowLogWriter: cfg.FlowTraceSpill,
 		},
 		PASE: experiments.PASEOptions{
 			LocalOnly:      cfg.PASE.LocalOnly,
@@ -417,6 +476,7 @@ func report(r experiments.PointResult, includeFlowLog bool) *Report {
 		Violations:    r.Violations,
 		flowEvents:    r.FlowEvents,
 		queueSamples:  r.QueueSamples,
+		runTrace:      r.Trace,
 	}
 	for _, v := range r.CheckViolations {
 		rep.ViolationDetails = append(rep.ViolationDetails, v.String())
@@ -516,6 +576,16 @@ type FigureOpts struct {
 	// Parallelism: a pooled figure runs up to Parallelism × Shards
 	// goroutines at once, so budget cores accordingly.
 	Shards int
+	// Trace runs every simulation point with the span flight recorder
+	// attached. Figure grids keep only scalar series per point, so the
+	// recorded spans themselves are dropped — but the recorder's
+	// retention counters (trace/*) and PASE's per-level arbitration RTT
+	// histograms (arb/rtt/*) appear in the merged Obs snapshot and run
+	// Manifest. Usually combined with Obs.
+	Trace bool
+	// TraceSampleN keeps 1-in-N flow traces when Trace is set (0 or
+	// 1 = every flow). Violating or faulted flows are always kept.
+	TraceSampleN int
 }
 
 // expOpts maps the public options onto the experiment runner's.
@@ -523,7 +593,8 @@ func expOpts(o FigureOpts) experiments.Opts {
 	return experiments.Opts{NumFlows: o.NumFlows, Seed: o.Seed, Seeds: o.Seeds,
 		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Check: o.Check,
 		Faults: o.Faults, Progress: o.Progress,
-		Stream: o.Stream, SketchEps: o.SketchEps, Shards: o.Shards}
+		Stream: o.Stream, SketchEps: o.SketchEps, Shards: o.Shards,
+		Trace: experiments.TraceConfig{Spans: o.Trace, SampleN: o.TraceSampleN}}
 }
 
 // FigureSeries is one curve of a regenerated figure.
