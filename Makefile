@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
+.PHONY: build vet test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke highspeed-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -65,10 +65,20 @@ trace-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPrioQueue$$' -fuzztime 10s ./internal/netem/
 	$(GO) test -run '^$$' -fuzz '^FuzzPfabricQueue$$' -fuzztime 10s ./internal/netem/
+	$(GO) test -run '^$$' -fuzz '^FuzzCreditQueue$$' -fuzztime 10s ./internal/netem/
 	$(GO) test -run '^$$' -fuzz '^FuzzArbitrator$$' -fuzztime 10s ./internal/core/arbitration/
 	$(GO) test -run '^$$' -fuzz '^FuzzEmpiricalCDF$$' -fuzztime 10s ./internal/workload/
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime 10s ./internal/faults/
 	$(GO) test -run '^$$' -fuzz '^FuzzQuantileSketch$$' -fuzztime 10s ./internal/metrics/
+
+# ExpressPass conformance gate: the credit transport's digest suite
+# (pinned digest, sharded equality at 0-4 shards, stream==stored,
+# faulted chaos, incast regression, highspeed sweep) under the forced
+# invariant checker — credit_pace included — then one checked
+# 10^5-flow 100 Gbps incast run end to end.
+highspeed-smoke:
+	PASE_CHECK=1 $(GO) test -run 'TestConformanceDigest|TestShardedDigestEquality|TestExpressPass|TestHighspeed' -count=1 -v ./internal/experiments/
+	PASE_CHECK=1 $(GO) run ./cmd/pasesim -protocol ExpressPass -scenario incast-256 -load 0.7 -flows 100000 -stream -check -progress=false
 
 # One-iteration figure regenerations: catches perf cliffs and keeps
 # the bench harness compiling without paying full bench time. The
@@ -98,4 +108,4 @@ manifest-sample:
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke bench-smoke obs-bench
+ci: vet build test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke highspeed-smoke bench-smoke obs-bench

@@ -274,9 +274,12 @@ func benchTrace(flows, reps int) *TraceBench {
 		OverheadPct: 100 * (on - off) / off}
 }
 
-// benchSharded times the serial engine against each shard count on two
-// workloads: a figure-9a-style stored point (DCTCP left-right) and a
-// streaming scale point on the wide leaf-spine fabric. Each sharded
+// benchSharded times the serial engine against each shard count on
+// three workloads: a figure-9a-style stored point (DCTCP left-right),
+// a streaming scale point on the wide leaf-spine fabric, and an
+// ExpressPass highspeed-figure point (credit pacing keeps every queue
+// shallow, so its event mix differs sharply from the window-based
+// transports and pins the credit plane's cost). Each sharded
 // run's summary is checked against the serial run — the contract is
 // byte-identical results, so a mismatch fails the snapshot.
 func benchSharded(scaleFlows int, counts []int) *ShardBench {
@@ -292,6 +295,10 @@ func benchSharded(scaleFlows int, counts []int) *ShardBench {
 		{"leaf-spine-wide-stream", experiments.PointConfig{
 			Protocol: experiments.DCTCP, Scenario: experiments.LeafSpineWide,
 			Load: 0.6, Seed: 1, NumFlows: scaleFlows, Stream: true,
+		}},
+		{"expresspass-highspeed", experiments.PointConfig{
+			Protocol: experiments.ExpressPass, Scenario: experiments.Highspeed100,
+			Load: 0.6, Seed: 1, NumFlows: 2000,
 		}},
 	}
 	for _, p := range points {

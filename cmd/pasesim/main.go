@@ -13,6 +13,7 @@
 //	pasesim -protocol DCTCP -load 0.8 -flowlog flows.tsv -queuetrace q.tsv
 //	pasesim -protocol PASE -load 0.7 -obs -manifest run.json
 //	pasesim -protocol DCTCP -scenario leaf-spine -load 0.6 -scale 1000000
+//	pasesim -protocol ExpressPass -scenario incast-256 -load 0.7 -check
 package main
 
 import (
@@ -29,8 +30,8 @@ import (
 
 func main() {
 	var (
-		protocol  = flag.String("protocol", "PASE", "transport: DCTCP, D2TCP, L2DCT, pFabric, PDQ, PASE")
-		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed, leaf-spine, leaf-spine-wide")
+		protocol  = flag.String("protocol", "PASE", "transport: DCTCP, D2TCP, L2DCT, pFabric, PDQ, PASE, ExpressPass")
+		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed, leaf-spine, leaf-spine-wide, highspeed-10, highspeed-40, highspeed-100, highspeed-shallow, incast-64, incast-256")
 		load      = flag.Float64("load", 0.7, "offered load in (0,1]")
 		flows     = flag.Int("flows", 2000, "number of foreground flows")
 		seed      = flag.Uint64("seed", 1, "workload seed")

@@ -39,6 +39,7 @@ const (
 	InvMonotonic    = "monotonic"    // event timestamps never run backwards
 	InvFCTBound     = "fct_bound"    // no flow beats its size/bottleneck lower bound
 	InvSketchBound  = "sketch_bound" // sketch quantiles ordered and inside the exact [min, max] envelope
+	InvCreditPace   = "credit_pace"  // credits leave a credit-shaped queue no faster than the configured rate
 )
 
 // Violation is one recorded invariant breach with its context.
@@ -275,6 +276,21 @@ func (c *Checker) SketchBounds(where string, p50, p99, min, max int64) {
 	}
 	if p99 < p50 {
 		c.Reportf(InvSketchBound, where, 0, "p99 %d below p50 %d", p99, p50)
+	}
+}
+
+// CreditPace verifies a credit-shaping queue's release decision: now
+// is the dequeue timestamp, eligible the earliest instant the
+// configured pacing rate allows the next credit out. A breach means
+// the shaper let credits through faster than its rate limit — the
+// bound ExpressPass's data-queue guarantee rests on.
+func (c *Checker) CreditPace(where string, now, eligible int64) {
+	if c == nil {
+		return
+	}
+	if now < eligible {
+		c.Reportf(InvCreditPace, where, 0,
+			"credit released at t=%d before pacing eligibility t=%d", now, eligible)
 	}
 }
 

@@ -21,6 +21,7 @@ func TestNilCheckerIsInert(t *testing.T) {
 	c.RefRate("link0", 1, -5)
 	c.Monotonic("sim", 10, 5)
 	c.FCTBound("driver", 1, 10, 100)
+	c.CreditPace("q", 5, 10)
 	if c.Total() != 0 || c.Violations() != nil || c.ByInvariant() != nil {
 		t.Fatal("nil checker recorded something")
 	}
@@ -63,6 +64,9 @@ func TestHelpersFireOnlyOnViolation(t *testing.T) {
 		{"fct-bound", InvFCTBound,
 			func(c *Checker) { c.FCTBound("drv", 1, 100, 100) },
 			func(c *Checker) { c.FCTBound("drv", 1, 99, 100) }},
+		{"credit-pace", InvCreditPace,
+			func(c *Checker) { c.CreditPace("q", 10, 10); c.CreditPace("q", 11, 10) },
+			func(c *Checker) { c.CreditPace("q", 9, 10) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -92,16 +92,17 @@ func toRecs(r PointResult) []_Rec {
 // intended changes re-pin (see the package comment above), unintended
 // ones are regressions.
 var goldenDigests = map[Protocol]uint64{
-	DCTCP:   0xdabcc6b759539fd4,
-	D2TCP:   0xfb4c9230a35f8243,
-	L2DCT:   0xa09058f68b5aac00,
-	PFabric: 0xb87509d8a3df31b9,
-	PDQ:     0xbd153bc762d781ad,
-	PASE:    0x5d25b73f33b12b38,
+	DCTCP:       0xdabcc6b759539fd4,
+	D2TCP:       0xfb4c9230a35f8243,
+	L2DCT:       0xa09058f68b5aac00,
+	PFabric:     0xb87509d8a3df31b9,
+	PDQ:         0xbd153bc762d781ad,
+	PASE:        0x5d25b73f33b12b38,
+	ExpressPass: 0x80b7aead1a5d3c92,
 }
 
 func TestConformanceDigest(t *testing.T) {
-	for _, p := range []Protocol{DCTCP, D2TCP, L2DCT, PFabric, PDQ, PASE} {
+	for _, p := range []Protocol{DCTCP, D2TCP, L2DCT, PFabric, PDQ, PASE, ExpressPass} {
 		p := p
 		t.Run(string(p), func(t *testing.T) {
 			t.Parallel()

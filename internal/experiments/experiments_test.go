@@ -257,14 +257,17 @@ func TestCDFOutputs(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Figures) != 21 {
-		t.Fatalf("registry has %d figures, want 21", len(Figures))
+	if len(Figures) != 22 {
+		t.Fatalf("registry has %d figures, want 22", len(Figures))
 	}
 	if _, ok := Lookup("9a"); !ok {
 		t.Fatal("figure 9a missing")
 	}
 	if _, ok := Lookup("robust"); !ok {
 		t.Fatal("figure robust missing")
+	}
+	if _, ok := Lookup("highspeed"); !ok {
+		t.Fatal("figure highspeed missing")
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Fatal("bogus figure should not resolve")

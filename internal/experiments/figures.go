@@ -234,6 +234,7 @@ var Figures = []Figure{
 	{ID: "leafspine", Title: "Extension: PASE on a multipath leaf-spine fabric with per-flow ECMP", Run: figLeafSpine},
 	{ID: "robust", Title: "Robustness: AFCT vs control-plane failure severity, PASE vs DCTCP baseline", Run: figRobust},
 	{ID: "scale", Title: "Extension: streaming million-flow scale sweep (leaf-spine)", Run: figScale},
+	{ID: "highspeed", Title: "Extension: ExpressPass vs PASE vs DCTCP on high-speed links", Run: figHighspeed},
 }
 
 // Lookup returns the figure with the given ID.
@@ -710,6 +711,91 @@ func figScale(o Opts) *Result {
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("offered load %.0f%%; streaming collector, quantile sketch eps=%g", load*100, eps),
 		"memory is O(in-flight flows): see the run manifest's peak_rss_bytes")
+	return res
+}
+
+// figHighspeed compares ExpressPass against PASE and DCTCP as the
+// fabric speeds up from 10 to 100 Gbps: AFCT and p99 per link rate,
+// the fabric-wide data-queue peak (where credit shaping shows up as a
+// near-flat curve while window-based transports fill buffers), and the
+// control-plane price of each scheme — ExpressPass credit bytes and
+// PASE arbitration bytes on the same ctrl/bytes axis. Two 256→1
+// 100 Gbps incast points ride along: with more synchronized senders
+// than buffer slots, ExpressPass must stay drop-free on the data plane
+// while DCTCP overruns the bottleneck buffer.
+//
+// o.Loads[0] (default 0.6) fixes the offered load for the rate sweep.
+func figHighspeed(o Opts) *Result {
+	load := 0.6
+	if len(o.Loads) > 0 {
+		load = o.Loads[0]
+	}
+	rates := []struct {
+		gbps float64
+		s    Scenario
+	}{{10, Highspeed10}, {40, Highspeed40}, {100, Highspeed100}}
+	protos := []Protocol{ExpressPass, PASE, DCTCP}
+	cfgs := make([]PointConfig, 0, len(protos)*len(rates)+2)
+	for _, p := range protos {
+		for _, r := range rates {
+			// Obs per point: the control-overhead note reads each
+			// protocol's ctrl/bytes counter from its own snapshot.
+			cfgs = append(cfgs, PointConfig{Protocol: p, Scenario: r.s,
+				Load: load, Seed: o.Seed, NumFlows: o.NumFlows, Obs: true})
+		}
+	}
+	// The incast points run at a fixed 70% load — the same operating
+	// point the incast regression test pins, where DCTCP's 256
+	// synchronized senders demonstrably overrun the bottleneck buffer.
+	const incastLoad = 0.7
+	incastAt := len(cfgs)
+	for _, p := range []Protocol{ExpressPass, DCTCP} {
+		cfgs = append(cfgs, PointConfig{Protocol: p, Scenario: Incast256,
+			Load: incastLoad, Seed: o.Seed, NumFlows: o.NumFlows})
+	}
+	ex := newPointExtras(len(cfgs))
+	rs := make([]PointResult, len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
+		rs[i] = r
+		ex.observe(i, r)
+	})
+	res := &Result{
+		ID: "highspeed", Title: "High-speed links: ExpressPass vs PASE vs DCTCP (extension)",
+		XLabel: "Link rate (Gbps)", YLabel: "FCT (ms) / queue peak (pkts)",
+	}
+	idx := 0
+	for _, p := range protos {
+		afct := Series{Name: string(p) + " AFCT"}
+		p99 := Series{Name: string(p) + " p99"}
+		peak := Series{Name: string(p) + " queue peak"}
+		var ctrlBytes, ctrlMsgs int64
+		for _, rate := range rates {
+			r := rs[idx]
+			idx++
+			afct.X = append(afct.X, rate.gbps)
+			afct.Y = append(afct.Y, r.Summary.AFCT.Millis())
+			p99.X = append(p99.X, rate.gbps)
+			p99.Y = append(p99.Y, r.Summary.P99.Millis())
+			peak.X = append(peak.X, rate.gbps)
+			peak.Y = append(peak.Y, float64(r.Queues.MaxLen))
+			if rate.s == Highspeed100 {
+				ctrlMsgs = r.CtrlMessages
+				if r.Obs != nil {
+					ctrlBytes = r.Obs.Counters["ctrl/bytes"]
+				}
+			}
+		}
+		res.Series = append(res.Series, afct, p99, peak)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s control overhead at 100 Gbps: %d messages, %d bytes (ctrl/bytes)",
+			p, ctrlMsgs, ctrlBytes))
+	}
+	ep, dc := rs[incastAt], rs[incastAt+1]
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("256→1 incast at 100 Gbps, %.0f%% load: ExpressPass dropped %d data pkts (queue peak %d), DCTCP dropped %d (queue peak %d)",
+			incastLoad*100, ep.Queues.DroppedData, ep.Queues.MaxLen, dc.Queues.DroppedData, dc.Queues.MaxLen),
+		fmt.Sprintf("rate sweep at %.0f%% offered load; credit shaping keeps the data queue bounded with no data-plane drops", load*100))
+	ex.fill(res)
 	return res
 }
 

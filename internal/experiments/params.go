@@ -12,6 +12,7 @@ import (
 	"pase/internal/sim"
 	"pase/internal/transport/d2tcp"
 	"pase/internal/transport/dctcp"
+	"pase/internal/transport/expresspass"
 	"pase/internal/transport/l2dct"
 	"pase/internal/transport/pdq"
 	"pase/internal/transport/pfabric"
@@ -32,6 +33,18 @@ var (
 	// PDQQueueSize matches the DCTCP buffering (PDQ keeps queues
 	// nearly empty by construction).
 	PDQQueueSize = 225
+	// CreditQueueSize bounds the switch credit class for ExpressPass;
+	// the paper's shapers keep it shallow so credit drops act as fast
+	// rate feedback.
+	CreditQueueSize = 8
+	// CreditCtrlQueueSize bounds the ExpressPass ctrl class (ACKs and
+	// credit requests).
+	CreditCtrlQueueSize = 1024
+	// ShallowQueueSize / ShallowMarkK parameterize the shallow-buffer
+	// 100 Gbps variant: far less than rate-scaled buffering, which
+	// window-based transports need and credit-based ones do not.
+	ShallowQueueSize = 64
+	ShallowMarkK     = 20
 )
 
 // DefaultDCTCP returns Table 3's DCTCP configuration.
@@ -59,6 +72,11 @@ func DefaultPASEParams() arbitration.Params { return arbitration.DefaultParams()
 // (minRTO 10 ms top queue / 200 ms others, probing on).
 func DefaultPASEEndhost() endhost.Config { return endhost.DefaultConfig() }
 
+// DefaultExpressPass returns the ExpressPass parameterization from Cho
+// et al. (target credit waste 0.125, w ∈ [0.01, 0.5], jittered credit
+// pacing).
+func DefaultExpressPass() expresspass.Config { return expresspass.DefaultConfig() }
+
 // Default sweep used across figures.
 var DefaultLoads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 
@@ -79,6 +97,14 @@ const (
 
 // IntraRackHosts is the size of the paper's intra-rack scenarios.
 const IntraRackHosts = 20
+
+// HighspeedHosts is the rack size of the high-speed-link scenarios.
+const HighspeedHosts = 16
+
+// HighspeedLinkDelay is the per-link propagation delay of the
+// high-speed scenarios — short, as in real high-speed fabrics, which
+// shrinks the BDP the credit loop must fill.
+const HighspeedLinkDelay = 5 * sim.Microsecond
 
 // WorkerFanin is the number of simultaneous worker responses per query
 // in the worker-aggregator scenario.

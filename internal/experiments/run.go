@@ -19,6 +19,7 @@ import (
 	"pase/internal/transport"
 	"pase/internal/transport/d2tcp"
 	"pase/internal/transport/dctcp"
+	"pase/internal/transport/expresspass"
 	"pase/internal/transport/l2dct"
 	"pase/internal/transport/pdq"
 	"pase/internal/transport/pfabric"
@@ -36,6 +37,10 @@ const (
 	PFabric Protocol = "pFabric"
 	PDQ     Protocol = "PDQ"
 	PASE    Protocol = "PASE"
+	// ExpressPass is the credit-based seventh transport (Cho et al.,
+	// SIGCOMM 2017): receiver-paced credits, switch credit shaping,
+	// data queues bounded by construction.
+	ExpressPass Protocol = "ExpressPass"
 )
 
 // Scenario names an evaluation setting from §4.
@@ -69,6 +74,19 @@ const (
 	// 12 partition atoms) used by the sharded-engine benchmarks — enough
 	// atoms that -shards 8 still gets distinct work per shard.
 	LeafSpineWide Scenario = "leaf-spine-wide"
+	// The highspeed family: scenarios the paper never had, where
+	// credit-based and window/arbitration-based control diverge most.
+	// Highspeed10/40/100 sweep a single-rack all-to-all fabric across
+	// 10/40/100 Gbps link rates; HighspeedShallow is the 100 Gbps
+	// point with shallow (64-packet) switch buffers; Incast64 and
+	// Incast256 converge that many senders on one receiver's 100 Gbps
+	// access link.
+	Highspeed10      Scenario = "highspeed-10"
+	Highspeed40      Scenario = "highspeed-40"
+	Highspeed100     Scenario = "highspeed-100"
+	HighspeedShallow Scenario = "highspeed-shallow"
+	Incast64         Scenario = "incast-64"
+	Incast256        Scenario = "incast-256"
 )
 
 // PASEOptions select PASE ablations.
@@ -175,8 +193,8 @@ type PointResult struct {
 	// LossRate is dropped data packets over data enqueue attempts
 	// across every queue in the fabric.
 	LossRate float64
-	// CtrlMessages counts arbitration (PASE) or header-exchange (PDQ)
-	// control messages.
+	// CtrlMessages counts arbitration (PASE), header-exchange (PDQ) or
+	// credit-plane (ExpressPass) control messages.
 	CtrlMessages int64
 	CDF          []metrics.CDFPoint
 	Queues       netem.QueueStats
@@ -292,6 +310,18 @@ func scenario(s Scenario) scenarioSpec {
 			qSize:     DCTCPQueueSize,
 			epoch:     200 * sim.Microsecond,
 		}
+	case Highspeed10:
+		return highspeedSpec(10*netem.Gbps, HighspeedHosts, DCTCPQueueSize, MarkingThreshold)
+	case Highspeed40:
+		return highspeedSpec(40*netem.Gbps, HighspeedHosts, 4*DCTCPQueueSize, 4*MarkingThreshold)
+	case Highspeed100:
+		return highspeedSpec(100*netem.Gbps, HighspeedHosts, 10*DCTCPQueueSize, 10*MarkingThreshold)
+	case HighspeedShallow:
+		return highspeedSpec(100*netem.Gbps, HighspeedHosts, ShallowQueueSize, ShallowMarkK)
+	case Incast64:
+		return incastSpec(64, 100*netem.Gbps)
+	case Incast256:
+		return incastSpec(256, 100*netem.Gbps)
 	case Testbed:
 		return scenarioSpec{
 			topo: topology.Testbed,
@@ -310,6 +340,66 @@ func scenario(s Scenario) scenarioSpec {
 		}
 	}
 	panic(fmt.Sprintf("experiments: unknown scenario %q", s))
+}
+
+// highspeedSpec builds a two-rack all-to-all scenario at the given
+// link rate: short propagation delays (as high-speed fabrics have) and
+// DCTCP-family buffers/thresholds scaled by the caller. Two racks
+// under one aggregation switch keep cross-rack traffic — and with it
+// PASE's remote arbitration exchanges, so the highspeed figure can put
+// arbitration bytes and ExpressPass credit bytes on the same axis. The
+// rack uplinks get full-bisection capacity (hosts/2 × the edge rate),
+// so the access links stay the bottleneck at every sweep rate.
+func highspeedSpec(rate netem.BitRate, hosts, qSize, markK int) scenarioSpec {
+	return scenarioSpec{
+		topo: func(nq func(topology.QueueKind) netem.Queue) topology.Config {
+			return topology.Config{
+				Racks: 2, HostsPerRack: hosts / 2, RacksPerAgg: 2,
+				EdgeRate: rate, FabricRate: netem.BitRate(hosts/2) * rate,
+				LinkDelay: HighspeedLinkDelay,
+				NewQueue:  nq,
+			}
+		},
+		pattern: func(n *topology.Network) workload.Pattern {
+			return workload.AllToAll{Hosts: workload.HostRange(0, hosts)}
+		},
+		sizes:     workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+		reference: netem.BitRate(hosts) * rate,
+		bgFlows:   BackgroundFlows,
+		markK:     markK,
+		qSize:     qSize,
+		epoch:     100 * sim.Microsecond,
+	}
+}
+
+// incastSpec builds the N→1 massive-incast scenario: senders many
+// hosts all transmit to one receiver whose access link is the
+// bottleneck. Buffers stay at the paper's 225-packet depth, so more
+// concurrent senders than buffer slots force window-based transports
+// to drop where credit shaping does not.
+func incastSpec(senders int, rate netem.BitRate) scenarioSpec {
+	hosts := senders + 1
+	return scenarioSpec{
+		topo: func(nq func(topology.QueueKind) netem.Queue) topology.Config {
+			return topology.Config{
+				Racks: 1, HostsPerRack: hosts, RacksPerAgg: 1,
+				EdgeRate: rate, FabricRate: rate,
+				LinkDelay: HighspeedLinkDelay,
+				NewQueue:  nq,
+			}
+		},
+		pattern: func(n *topology.Network) workload.Pattern {
+			return workload.LeftRight{
+				Left:  workload.HostRange(0, senders),
+				Right: []pkt.NodeID{pkt.NodeID(senders)},
+			}
+		},
+		sizes:     workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+		reference: rate, // the receiver's access link
+		markK:     MarkingThreshold,
+		qSize:     DCTCPQueueSize,
+		epoch:     100 * sim.Microsecond,
+	}
 }
 
 // occOf returns the shared occupancy histogram for a queue role: every
@@ -362,11 +452,34 @@ func queueFactory(p Protocol, sp scenarioSpec, numQueues int, reg *obs.Registry)
 			q.OccBand = occBand
 			return q
 		}
+	case ExpressPass:
+		// Credit shaping per port: the data class gets the scenario's
+		// buffer depth (it stays near-empty by construction), credits a
+		// shallow rate-limited FIFO, and the ctrl class room for the
+		// ACK stream. Pacing gaps are derived from each port's rate at
+		// Bind time (bindCreditQueues).
+		return func(kind topology.QueueKind) netem.Queue {
+			q := netem.NewCreditQueue(sp.qSize, CreditQueueSize, CreditCtrlQueueSize)
+			q.Occ = occOf(reg, kind)
+			return q
+		}
 	default: // the DCTCP family
 		return func(kind topology.QueueKind) netem.Queue {
 			q := netem.NewREDECN(sp.qSize, sp.markK)
 			q.Occ = occOf(reg, kind)
 			return q
+		}
+	}
+}
+
+// bindCreditQueues connects every CreditQueue to its port — engine
+// clock, transmitter kick and rate-derived pacing gap. Serial and
+// sharded builds call it at the same position so runs stay
+// byte-identical.
+func bindCreditQueues(net *topology.Network) {
+	for _, l := range net.Links {
+		if cq, ok := l.Port.Queue().(*netem.CreditQueue); ok {
+			cq.Bind(l.Port)
 		}
 	}
 }
@@ -419,6 +532,7 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 	} else {
 		net = topology.Build(eng, sp.topo(queueFactory(cfg.Protocol, sp, numQueues, reg)))
 	}
+	bindCreditQueues(net)
 	if chk != nil {
 		for _, l := range net.Links {
 			if cq, ok := l.Port.Queue().(netem.Checkable); ok {
@@ -446,6 +560,7 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 	var pdqSys *pdq.System
 	var paseSys *arbitration.System
 	var paseT *endhost.Transport
+	var epSys *expresspass.System
 	switch cfg.Protocol {
 	case DCTCP:
 		c := DefaultDCTCP()
@@ -471,6 +586,10 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 		c := DefaultPDQ()
 		c.EarlyTermination = sp.deadlines
 		pdqSys = pdq.Attach(d, c)
+	case ExpressPass:
+		c := DefaultExpressPass()
+		c.Seed = cfg.Seed
+		epSys = expresspass.Attach(d, c)
 	case PASE:
 		p := DefaultPASEParams()
 		p.Epoch = sp.epoch
@@ -596,6 +715,9 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 	if paseSys != nil {
 		res.CtrlMessages = paseSys.Stats.Messages
 	}
+	if epSys != nil {
+		res.CtrlMessages = epSys.Totals().Messages
+	}
 	if flog != nil {
 		if cfg.Trace.FlowLogWriter != nil {
 			if err := flog.FlushSpill(); err != nil {
@@ -639,7 +761,7 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 		res.CheckViolations = chk.Violations()
 	}
 	if reg != nil {
-		scrapeRun(reg, eng, net, summary, paseSys, pdqSys)
+		scrapeRun(reg, eng, net, summary, paseSys, pdqSys, epSys)
 		scrapeCheck(reg, chk)
 		scrapeTrace(reg, res.Trace)
 		if sc != nil {
@@ -677,7 +799,8 @@ func scrapeCheck(reg *obs.Registry, chk *check.Checker) {
 // registry next to the live-instrumented streams, so one Snapshot
 // carries the whole run.
 func scrapeRun(reg *obs.Registry, eng *sim.Engine, net *topology.Network,
-	summary metrics.Summary, paseSys *arbitration.System, pdqSys *pdq.System) {
+	summary metrics.Summary, paseSys *arbitration.System, pdqSys *pdq.System,
+	epSys *expresspass.System) {
 	reg.Counter("run/points").Inc()
 	reg.Counter("sim/elapsed_ns").Add(int64(eng.Now()))
 	reg.Counter("flows/total").Add(int64(summary.Flows))
@@ -705,9 +828,24 @@ func scrapeRun(reg *obs.Registry, eng *sim.Engine, net *topology.Network,
 		reg.Counter("arb/refreshes").Add(paseSys.Stats.Refreshes)
 		reg.Counter("arb/releases").Add(paseSys.Stats.Releases)
 		reg.Counter("arb/pruned").Add(paseSys.Stats.Pruned)
+		// Unified control-overhead axis: the same counters ExpressPass
+		// feeds from its credit plane, so figures can compare the two
+		// control planes on one scale.
+		reg.Counter("ctrl/messages").Add(paseSys.Stats.Messages)
+		reg.Counter("ctrl/bytes").Add(paseSys.Stats.Bytes)
 	}
 	if pdqSys != nil {
 		reg.Counter("pdq/sync_messages").Add(pdqSys.SyncMessages)
+		reg.Counter("ctrl/messages").Add(pdqSys.SyncMessages)
+	}
+	if epSys != nil {
+		t := epSys.Totals()
+		reg.Counter("credit/sent").Add(t.Credits)
+		reg.Counter("credit/bytes").Add(t.CreditBytes)
+		reg.Counter("credit/requests").Add(t.Requests)
+		reg.Counter("credit/wasted").Add(t.Wasted)
+		reg.Counter("ctrl/messages").Add(t.Messages)
+		reg.Counter("ctrl/bytes").Add(t.CreditBytes + t.Requests*pkt.CreditSize)
 	}
 }
 
@@ -760,7 +898,7 @@ func wireTraceHooks(cfg PointConfig, d *transport.Driver,
 	}
 	// PASE holds a new flow at the source until its first arbitration
 	// response; every other protocol transmits immediately.
-	held := cfg.Protocol == PASE
+	held := cfg.Protocol == PASE || cfg.Protocol == ExpressPass
 	prevStart := d.OnFlowStart
 	d.OnFlowStart = func(s *transport.Sender) {
 		if flogOf != nil {

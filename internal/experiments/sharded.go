@@ -17,6 +17,7 @@ import (
 	"pase/internal/transport"
 	"pase/internal/transport/d2tcp"
 	"pase/internal/transport/dctcp"
+	"pase/internal/transport/expresspass"
 	"pase/internal/transport/l2dct"
 	"pase/internal/transport/pfabric"
 	"pase/internal/workload"
@@ -154,6 +155,7 @@ func runPointSharded(cfg PointConfig) PointResult {
 		treeCfg.NewQueueFor = queueFor
 		net = topology.Build(se.Shard(0), treeCfg)
 	}
+	bindCreditQueues(net)
 	if chks != nil {
 		for _, l := range net.Links {
 			if cq, ok := l.Port.Queue().(netem.Checkable); ok {
@@ -211,6 +213,7 @@ func runPointSharded(cfg PointConfig) PointResult {
 		d.ChkOf = func(src pkt.NodeID) *check.Checker { return chks[part.ShardOfID(src)] }
 	}
 
+	var epSys *expresspass.System
 	switch cfg.Protocol {
 	case DCTCP:
 		c := DefaultDCTCP()
@@ -232,6 +235,13 @@ func runPointSharded(cfg PointConfig) PointResult {
 		for _, st := range d.Stacks {
 			st.NewControl = pfabric.New(c)
 		}
+	case ExpressPass:
+		// ExpressPass shards cleanly: every credit engine is per-host
+		// state driven by its host's shard engine, and Totals sums the
+		// hosts in stack (host-ID) order regardless of shard count.
+		c := DefaultExpressPass()
+		c.Seed = cfg.Seed
+		epSys = expresspass.Attach(d, c)
 	default:
 		panic(fmt.Sprintf("experiments: protocol %q cannot run sharded", cfg.Protocol))
 	}
@@ -371,6 +381,9 @@ func runPointSharded(cfg PointConfig) PointResult {
 	if att := host.EnqueuedData + host.DroppedData; att > 0 {
 		res.LossRate = float64(res.Queues.DroppedData) / float64(att)
 	}
+	if epSys != nil {
+		res.CtrlMessages = epSys.Totals().Messages
+	}
 	if flogs != nil {
 		res.FlowEvents, _ = trace.MergeFlowEvents(flogs, flogCap)
 	}
@@ -404,7 +417,7 @@ func runPointSharded(cfg PointConfig) PointResult {
 		res.Violations = totalViolations
 	}
 	if cfg.Obs {
-		scrapeRun(coordReg, se.Shard(0), net, summary, nil, nil)
+		scrapeRun(coordReg, se.Shard(0), net, summary, nil, nil, epSys)
 		scrapeTrace(coordReg, res.Trace)
 		if chks != nil {
 			coordReg.Counter("check/enabled").Inc()

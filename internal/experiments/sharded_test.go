@@ -43,7 +43,7 @@ func runShards(t *testing.T, cfg PointConfig, shards int) PointResult {
 // transport, on both a tree and a leaf-spine fabric, produces the exact
 // serial digest at 2, 3 and 4 shards.
 func TestShardedDigestEquality(t *testing.T) {
-	for _, p := range []Protocol{DCTCP, D2TCP, L2DCT, PFabric} {
+	for _, p := range []Protocol{DCTCP, D2TCP, L2DCT, PFabric, ExpressPass} {
 		for _, s := range []Scenario{LeftRight, LeafSpine} {
 			p, s := p, s
 			t.Run(string(p)+"/"+string(s), func(t *testing.T) {

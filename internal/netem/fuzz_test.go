@@ -5,6 +5,7 @@ import (
 
 	"pase/internal/check"
 	"pase/internal/pkt"
+	"pase/internal/sim"
 )
 
 // The fuzz targets drive the queue disciplines with arbitrary
@@ -82,6 +83,93 @@ func FuzzPrioQueue(f *testing.F) {
 		for n := q.Len(); n > 0; n-- {
 			if q.Dequeue() == nil {
 				t.Fatal("Dequeue returned nil with packets queued")
+			}
+		}
+		if q.Dequeue() != nil {
+			t.Fatal("drained queue still yields packets")
+		}
+		if q.Bytes() != 0 {
+			t.Fatalf("drained queue reports %d bytes", q.Bytes())
+		}
+		q.CheckConservation()
+	})
+}
+
+// FuzzCreditQueue exercises the ExpressPass port discipline: per-class
+// bounds, the credit pacing gap (the strict checker's credit_pace
+// invariant panics if a credit ever releases early), class service
+// order, byte accounting and end-state conservation, under arbitrary
+// enqueue/dequeue/clock-advance sequences.
+func FuzzCreditQueue(f *testing.F) {
+	f.Add([]byte{4, 2, 3, 1, 0x01, 0x82, 0x43, 0x84, 0x25, 0x96})
+	f.Add([]byte{9, 1, 1, 4, 0xc1, 0x02, 0x83, 0x44, 0x85, 0x06, 0x87})
+	f.Add([]byte{2, 5, 2, 2, 0x11, 0x12, 0x93, 0x94, 0x95, 0x16, 0x97, 0x18})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		dataLim := int(data[0]) % 12
+		credLim := int(data[1]) % 6
+		ctrlLim := int(data[2]) % 6
+		gap := sim.Duration(1+int(data[3])%8) * sim.Microsecond
+		q := NewCreditQueue(dataLim, credLim, ctrlLim)
+		q.Gap = gap
+		var now sim.Time
+		q.BindClock(func() sim.Time { return now })
+		q.AttachCheck("fuzz/credit", check.NewStrict(func() int64 { return int64(now) }))
+
+		// Shadow ledger: bytes by class, plus an independent pacing
+		// oracle alongside the strict checker's.
+		var bytes int64
+		var lastEligible sim.Time
+		var seq int32
+		for _, op := range data[4:] {
+			// Low bits advance the clock so eligibility windows open and
+			// close mid-sequence.
+			now = now.Add(sim.Duration(op&0x0f) * 500 * sim.Nanosecond)
+			if op&0x80 != 0 {
+				p := q.Dequeue()
+				if p == nil {
+					continue
+				}
+				bytes -= int64(p.Size)
+				if p.Type == pkt.Credit {
+					if now < lastEligible {
+						t.Fatalf("credit released at %v before eligibility %v", now, lastEligible)
+					}
+					lastEligible = now.Add(gap)
+				}
+				continue
+			}
+			seq++
+			var p *pkt.Packet
+			switch op % 3 {
+			case 0:
+				p = &pkt.Packet{Flow: 1, Seq: seq, Type: pkt.Data, Size: pkt.MTU}
+			case 1:
+				p = &pkt.Packet{Flow: 1, Seq: seq, Type: pkt.Credit, Size: pkt.CreditSize}
+			default:
+				p = &pkt.Packet{Flow: 1, Seq: seq, Type: pkt.Ack, Size: pkt.HeaderSize}
+			}
+			if q.Enqueue(p) {
+				bytes += int64(p.Size)
+			}
+		}
+		if q.DataLen() > dataLim || q.CreditLen() > credLim {
+			t.Fatalf("class over bound: data %d/%d credit %d/%d",
+				q.DataLen(), dataLim, q.CreditLen(), credLim)
+		}
+		if q.Bytes() != bytes {
+			t.Fatalf("Bytes() = %d, shadow ledger %d", q.Bytes(), bytes)
+		}
+		q.CheckConservation()
+
+		// Drain: advancing the clock one gap per pull must empty the
+		// queue (credits become eligible, data and ctrl always are).
+		for i := q.Len(); i > 0; i-- {
+			now = now.Add(gap)
+			if q.Dequeue() == nil {
+				t.Fatalf("nil dequeue with %d packets queued", q.Len())
 			}
 		}
 		if q.Dequeue() != nil {

@@ -47,7 +47,11 @@ type QueueStats struct {
 	// Fig 4's loss-rate metric ignores ACKs and control traffic.
 	EnqueuedData int64
 	DroppedData  int64
-	MaxLen       int
+	// EnqueuedCredit / DroppedCredit count ExpressPass credit packets;
+	// credit drops are the shaper's rate-limit feedback, not loss.
+	EnqueuedCredit int64
+	DroppedCredit  int64
+	MaxLen         int
 }
 
 func (s *QueueStats) drop(p *pkt.Packet) {
@@ -56,12 +60,18 @@ func (s *QueueStats) drop(p *pkt.Packet) {
 	if p.Type == pkt.Data {
 		s.DroppedData++
 	}
+	if p.Type == pkt.Credit {
+		s.DroppedCredit++
+	}
 }
 
 func (s *QueueStats) accept(p *pkt.Packet) {
 	s.Enqueued++
 	if p.Type == pkt.Data {
 		s.EnqueuedData++
+	}
+	if p.Type == pkt.Credit {
+		s.EnqueuedCredit++
 	}
 }
 

@@ -35,9 +35,16 @@ const (
 	ProbeAck
 	// Ctrl carries arbitration control-plane messages.
 	Ctrl
+	// Credit is an ExpressPass-style minimum-size credit packet sent
+	// by a receiver; each credit entitles the sender to transmit one
+	// data segment on the reverse path.
+	Credit
+	// CreditReq opens a credit-based flow: the sender asks the
+	// receiver to start pacing credits toward it.
+	CreditReq
 )
 
-var typeNames = [...]string{"DATA", "ACK", "PROBE", "PROBEACK", "CTRL"}
+var typeNames = [...]string{"DATA", "ACK", "PROBE", "PROBEACK", "CTRL", "CREDIT", "CREDITREQ"}
 
 func (t Type) String() string {
 	if int(t) < len(typeNames) {
@@ -54,6 +61,9 @@ const (
 	MSS        = MTU - HeaderSize
 	// CtrlSize is the wire size of one arbitration message.
 	CtrlSize = 64
+	// CreditSize is the wire size of one ExpressPass credit packet
+	// (the minimum Ethernet frame, per the ExpressPass paper).
+	CreditSize = 84
 )
 
 // Packet is a single simulated packet. Packets are passed by pointer
@@ -93,6 +103,13 @@ type Packet struct {
 	// Have reports, on a ProbeAck, whether the receiver holds the
 	// probed segment (PASE's loss-vs-delay discrimination).
 	Have bool
+
+	// CSeq is the credit sequence number: stamped by an ExpressPass
+	// receiver on each Credit, echoed by the sender on the data packet
+	// that credit triggered. The echo lets the receiver measure credit
+	// loss precisely — only credits whose round trip completed count —
+	// instead of guessing from a lagged send/receive ratio.
+	CSeq int64
 
 	// Ctrl and protocol-specific header contents.
 	Ctrl any

@@ -408,7 +408,14 @@ func (n *Network) QueueStatsTotal() netem.QueueStats {
 		total.DroppedBytes += s.DroppedBytes
 		total.EnqueuedData += s.EnqueuedData
 		total.DroppedData += s.DroppedData
+		total.EnqueuedCredit += s.EnqueuedCredit
+		total.DroppedCredit += s.DroppedCredit
 		total.Marked += s.Marked
+		// MaxLen aggregates as the fabric-wide peak, not a sum: the
+		// high-speed figure reads it as "deepest any queue ever got".
+		if s.MaxLen > total.MaxLen {
+			total.MaxLen = s.MaxLen
+		}
 	}
 	for _, h := range n.Hosts {
 		add(h.Port())

@@ -1,0 +1,379 @@
+// Package expresspass implements ExpressPass (Cho, Jang, Han —
+// SIGCOMM 2017), the credit-based representative of the transport
+// design space: receivers pace minimum-size credit packets toward
+// senders, a sender transmits exactly one data packet per arriving
+// credit, and switches rate-limit the credit class so the data those
+// credits summon can never exceed ~95% of any link on the (symmetric)
+// reverse path — data queues are bounded by construction and drops
+// move from the data plane to the credit plane, where they are cheap
+// feedback instead of loss.
+//
+// The receiver-side credit engine runs the paper's credit feedback
+// loop per flow: every update period it measures credit waste
+// (credits sent minus data received), aggressively increases the
+// credit rate toward the line ceiling while waste stays under the
+// target, and multiplicatively backs off — with a shrinking
+// aggressiveness weight w — when shapers drop credits. Credit release
+// times carry deterministic per-flow jitter to break the symmetry
+// synchronized incast senders would otherwise exhibit.
+//
+// Everything is per-host state driven by per-host engines, so
+// ExpressPass runs unchanged on the sharded engine and its runs are
+// byte-identical to serial ones.
+package expresspass
+
+import (
+	"pase/internal/netem"
+	"pase/internal/pkt"
+	"pase/internal/sim"
+	"pase/internal/transport"
+)
+
+// Config holds the credit engine's parameters.
+type Config struct {
+	// TargetLoss is the credit-waste fraction the feedback loop aims
+	// for (the paper's alpha, 0.125).
+	TargetLoss float64
+	// WMax / WMin bound the aggressiveness weight of the
+	// increase/decrease rule.
+	WMax float64
+	WMin float64
+	// InitRatio sets a new flow's initial credit rate as a fraction of
+	// the line ceiling.
+	InitRatio float64
+	// MinRate floors the per-flow credit rate so a starved flow keeps
+	// probing.
+	MinRate netem.BitRate
+	// Jitter is the fractional bound of the deterministic per-credit
+	// release jitter (0.125 = up to 12.5% of the credit gap).
+	Jitter float64
+	// MinPeriod floors the per-flow feedback update period (the period
+	// is otherwise the flow's base RTT).
+	MinPeriod sim.Duration
+	// IdleTimeout stops crediting a flow that has neither requested
+	// credits nor delivered data for this long; the sender's RTO
+	// re-opens the flow if it still owes data.
+	IdleTimeout sim.Duration
+	// MinRTO floors the sender's retransmission timeout.
+	MinRTO sim.Duration
+	// Seed derives the per-flow jitter streams; runs with equal seeds
+	// are identical.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's parameterization.
+func DefaultConfig() Config {
+	return Config{
+		TargetLoss: 0.125,
+		WMax:       0.5,
+		WMin:       0.01,
+		InitRatio:  0.5,
+		// At 10 Mbps the credit gap is ~1.2 ms, safely inside
+		// IdleTimeout — a floored flow keeps probing instead of letting
+		// its crediting state idle out.
+		MinRate:     10 * netem.Mbps,
+		Jitter:      0.125,
+		MinPeriod:   50 * sim.Microsecond,
+		IdleTimeout: 5 * sim.Millisecond,
+		MinRTO:      10 * sim.Millisecond,
+	}
+}
+
+// Totals aggregates the credit plane's cost across every host, summed
+// in host-ID order so the result is deterministic at any shard count.
+type Totals struct {
+	// Credits / CreditBytes count credit packets paced out by
+	// receivers; Requests counts flow-opening credit requests.
+	Credits     int64
+	CreditBytes int64
+	Requests    int64
+	// Wasted counts credits that arrived at a sender with nothing to
+	// send (the receiver-visible analogue is rate-feedback loss).
+	Wasted int64
+	// Messages is the control-plane message total (credits plus
+	// requests) — the analogue of PASE's arbitration message count.
+	Messages int64
+}
+
+// System wires ExpressPass onto a driver: a per-host credit engine on
+// the receive side and a credit-gated Control per flow on the send
+// side.
+type System struct {
+	cfg   Config
+	hosts []*hostState // in driver stack (host-ID) order
+}
+
+// hostState is one host's credit engine: per-flow crediting state for
+// flows this host receives, plus the host's credit-plane counters.
+// It is touched only by its host's engine, so sharded runs need no
+// synchronization.
+type hostState struct {
+	sys     *System
+	st      *transport.Stack
+	maxRate float64 // line ceiling for triggered data (bits/s)
+	flows   map[pkt.FlowID]*creditState
+
+	credits     int64
+	creditBytes int64
+	requests    int64
+	wasted      int64
+}
+
+// creditState is the receiver-side state of one credited flow.
+type creditState struct {
+	flow pkt.FlowID
+	peer pkt.NodeID // the sender credits are paced toward
+	segs int32      // data packets the flow owes in total
+
+	rate   float64 // current credit rate, in triggered-data bits/s
+	w      float64 // aggressiveness weight
+	rng    *sim.Rand
+	period sim.Duration
+
+	creditsSent int64
+	dataRcvd    int64
+	// ackCredits is the highest echoed credit sequence plus one: the
+	// prefix of credits whose round trip has completed. Loss is
+	// measured only over this prefix, so in-flight credits never read
+	// as lost.
+	ackCredits int64
+	baseAck    int64 // period baselines for the loss measurement
+	baseData   int64
+	periodEnd  sim.Time
+	stopAt     sim.Time
+
+	timer   sim.Timer
+	stopped bool
+}
+
+// Attach installs ExpressPass on every stack of the driver.
+func Attach(d *transport.Driver, cfg Config) *System {
+	sys := &System{cfg: cfg}
+	for _, st := range d.Stacks {
+		h := &hostState{
+			sys:   sys,
+			st:    st,
+			flows: make(map[pkt.FlowID]*creditState),
+			maxRate: float64(st.NICRate()) * float64(pkt.MTU) /
+				float64(pkt.MTU+pkt.CreditSize),
+		}
+		sys.hosts = append(sys.hosts, h)
+		st.NewControl = sys.newControl
+		st.CreditHandler = h.onCreditPkt
+		st.OnData = h.onData
+	}
+	return sys
+}
+
+// Totals sums the credit-plane counters across hosts (deterministic:
+// hosts are kept in ID order).
+func (sys *System) Totals() Totals {
+	var t Totals
+	for _, h := range sys.hosts {
+		t.Credits += h.credits
+		t.CreditBytes += h.creditBytes
+		t.Requests += h.requests
+		t.Wasted += h.wasted
+	}
+	t.Messages = t.Credits + t.Requests
+	return t
+}
+
+func (sys *System) newControl(s *transport.Sender) transport.Control {
+	return &control{sys: sys}
+}
+
+// onCreditPkt handles the two credit-plane packet kinds at this host.
+func (h *hostState) onCreditPkt(p *pkt.Packet) {
+	switch p.Type {
+	case pkt.Credit:
+		// A credit arrived at a sender: transmit exactly one segment,
+		// echoing the credit's sequence number on it.
+		s := h.st.Sender(p.Flow)
+		if s == nil {
+			h.wasted++
+			return
+		}
+		s.CreditEcho = p.CSeq
+		if !s.TransmitOne() {
+			h.wasted++
+		}
+	case pkt.CreditReq:
+		h.onCreditReq(p)
+	}
+}
+
+// onCreditReq opens (or refreshes) receiver-side crediting for a flow.
+func (h *hostState) onCreditReq(p *pkt.Packet) {
+	h.requests++
+	now := h.st.Eng.Now()
+	cs, ok := h.flows[p.Flow]
+	if ok {
+		// A retransmitted request: keep the engine running longer.
+		cs.stopAt = now.Add(h.sys.cfg.IdleTimeout)
+		return
+	}
+	cfg := &h.sys.cfg
+	period := h.st.BaseRTT(p.Src)
+	if period < cfg.MinPeriod {
+		period = cfg.MinPeriod
+	}
+	cs = &creditState{
+		flow:      p.Flow,
+		peer:      p.Src,
+		segs:      p.Seq,
+		rate:      h.maxRate * cfg.InitRatio,
+		w:         cfg.WMax,
+		rng:       sim.NewRand(cfg.Seed ^ 0xc3ed17).Split(uint64(p.Flow)),
+		period:    period,
+		periodEnd: now.Add(period),
+		stopAt:    now.Add(cfg.IdleTimeout),
+	}
+	h.flows[p.Flow] = cs
+	h.tick(cs)
+}
+
+// onData feeds the credit-waste measurement and retires flows whose
+// data has fully arrived.
+func (h *hostState) onData(p *pkt.Packet) {
+	cs, ok := h.flows[p.Flow]
+	if !ok {
+		return
+	}
+	cs.dataRcvd++
+	if p.CSeq+1 > cs.ackCredits {
+		cs.ackCredits = p.CSeq + 1
+	}
+	cs.stopAt = h.st.Eng.Now().Add(h.sys.cfg.IdleTimeout)
+	if cs.dataRcvd >= int64(cs.segs) {
+		h.drop(cs)
+	}
+}
+
+// drop stops and forgets a flow's crediting state.
+func (h *hostState) drop(cs *creditState) {
+	cs.stopped = true
+	cs.timer.Stop()
+	delete(h.flows, cs.flow)
+}
+
+// tick sends one credit and schedules the next at the current rate
+// (plus jitter), running the feedback update at period boundaries.
+func (h *hostState) tick(cs *creditState) {
+	if cs.stopped {
+		return
+	}
+	now := h.st.Eng.Now()
+	if cs.dataRcvd >= int64(cs.segs) || now >= cs.stopAt {
+		h.drop(cs)
+		return
+	}
+	if now >= cs.periodEnd {
+		cs.update(now, h.maxRate, &h.sys.cfg)
+	}
+	h.st.Host.Send(&pkt.Packet{
+		ID:     h.st.NextPktID(),
+		Flow:   cs.flow,
+		Src:    h.st.Host.ID(),
+		Dst:    cs.peer,
+		Type:   pkt.Credit,
+		Size:   pkt.CreditSize,
+		CSeq:   cs.creditsSent,
+		SentAt: now,
+	})
+	cs.creditsSent++
+	h.credits++
+	h.creditBytes += pkt.CreditSize
+	cs.timer = h.st.Eng.Schedule(cs.gap(&h.sys.cfg), func() { h.tick(cs) })
+}
+
+// gap returns the next credit spacing: the serialization time of the
+// data packet this credit triggers at the current credit rate, plus
+// deterministic jitter to break incast symmetry.
+func (cs *creditState) gap(cfg *Config) sim.Duration {
+	base := netem.BitRate(cs.rate).Serialize(pkt.MTU)
+	return base + sim.Duration(float64(base)*cfg.Jitter*cs.rng.Float64())
+}
+
+// update runs the paper's per-period feedback: measure credit loss
+// over the credits whose round trip completed this period, then either
+// converge toward the line ceiling (loss under target; the weight w
+// regains aggressiveness) or decrease multiplicatively (w halves so
+// the next increase is cautious). Credits still in flight contribute
+// nothing — the echoed credit sequence tells the two apart.
+func (cs *creditState) update(now sim.Time, maxRate float64, cfg *Config) {
+	sent := cs.ackCredits - cs.baseAck
+	got := cs.dataRcvd - cs.baseData
+	if sent > 0 {
+		loss := float64(sent-got) / float64(sent)
+		if loss < 0 {
+			loss = 0
+		}
+		if loss <= cfg.TargetLoss {
+			cs.w = (cs.w + cfg.WMax) / 2
+			cs.rate = (1-cs.w)*cs.rate + cs.w*maxRate*(1+cfg.TargetLoss)
+		} else {
+			cs.rate = cs.rate * (1 - loss) * (1 + cfg.TargetLoss)
+			cs.w = cs.w / 2
+			if cs.w < cfg.WMin {
+				cs.w = cfg.WMin
+			}
+		}
+		if cs.rate > maxRate {
+			cs.rate = maxRate
+		}
+		if cs.rate < float64(cfg.MinRate) {
+			cs.rate = float64(cfg.MinRate)
+		}
+	}
+	cs.baseAck, cs.baseData = cs.ackCredits, cs.dataRcvd
+	cs.periodEnd = now.Add(cs.period)
+}
+
+// control is the sender-side protocol hook: transmission is entirely
+// credit-gated, so the control only opens the flow, re-opens it on
+// timeout, and stamps headers.
+type control struct {
+	sys *System
+}
+
+func (c *control) Name() string { return "ExpressPass" }
+
+// Init implements transport.Control: pacing mode with rate zero means
+// the framework never self-transmits — data leaves only through
+// TransmitOne when a credit arrives.
+func (c *control) Init(s *transport.Sender) {
+	s.CC = c
+	s.Paced = true
+	s.Rate = 0
+	s.SendCreditRequest()
+	s.ArmRTO()
+}
+
+// OnAck implements transport.Control (the rate lives at the receiver).
+func (c *control) OnAck(*transport.Sender, *pkt.Packet, int32, sim.Duration) {}
+
+// OnLoss implements transport.Control. Data drops cannot happen by
+// construction; if faults burn a packet anyway, the retransmission
+// queue feeds the next credits.
+func (c *control) OnLoss(*transport.Sender) {}
+
+// OnTimeout implements transport.Control: queue everything in flight
+// for (credit-gated) retransmission and ask the receiver for credits
+// again — its crediting state may have idled out.
+func (c *control) OnTimeout(s *transport.Sender) bool {
+	s.MarkAllInflightLost()
+	s.SendCreditRequest()
+	return true
+}
+
+// FillData implements transport.Control: echo the triggering credit's
+// sequence so the receiver's loss measurement is exact.
+func (c *control) FillData(s *transport.Sender, p *pkt.Packet) {
+	p.ECT = false
+	p.Rank = s.Remaining()
+	p.CSeq = s.CreditEcho
+}
+
+// MinRTO implements transport.Control.
+func (c *control) MinRTO(*transport.Sender) sim.Duration { return c.sys.cfg.MinRTO }

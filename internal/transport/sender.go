@@ -53,6 +53,11 @@ type Sender struct {
 	// CC is protocol-private per-flow state.
 	CC any
 
+	// CreditEcho is the credit sequence number of the most recent
+	// ExpressPass credit; FillData echoes it on the data packet that
+	// credit triggers so the receiver can measure credit loss exactly.
+	CreditEcho int64
+
 	// Hold suspends all transmission (data and retransmissions) while
 	// true. PASE uses it to gate sending on arbitration readiness, to
 	// drain in-flight packets before a priority promotion (reorder
@@ -314,6 +319,49 @@ func (s *Sender) MarkAllInflightLost() {
 	}
 	s.inflight = 0
 }
+
+// TransmitOne sends exactly one eligible segment (retransmissions
+// first), bypassing the window and pacing gates — the credit-driven
+// transmission primitive: ExpressPass transmits one data packet per
+// arriving credit. It reports whether a segment went out; false means
+// the credit was wasted (flow done, held, or nothing eligible).
+func (s *Sender) TransmitOne() bool {
+	if s.Done || s.Hold {
+		return false
+	}
+	seq, ok := s.nextToSend()
+	if !ok {
+		return false
+	}
+	s.transmit(seq)
+	s.armRTO()
+	return true
+}
+
+// SendCreditRequest opens a credit-based flow: a minimum-size request
+// asking the receiver to start pacing credits toward this sender. Seq
+// carries the flow's segment count so the receiver-side credit engine
+// knows how much data the flow still owes.
+func (s *Sender) SendCreditRequest() {
+	p := &pkt.Packet{
+		ID:     s.st.nextPktID(),
+		Flow:   s.Spec.ID,
+		Src:    s.Spec.Src,
+		Dst:    s.Spec.Dst,
+		Type:   pkt.CreditReq,
+		Seq:    s.Segs,
+		Size:   pkt.CreditSize,
+		SentAt: s.Now(),
+	}
+	s.ctrl.FillData(s, p)
+	s.st.Host.Send(p)
+}
+
+// ArmRTO arms the retransmission timer if it is not already pending.
+// Controls that gate all transmission on external events (credits,
+// arbitration) call it at flow start so a lost opener still recovers
+// by timeout.
+func (s *Sender) ArmRTO() { s.armRTO() }
 
 // SendProbe emits a PASE loss-discrimination probe for segment seq.
 func (s *Sender) SendProbe(seq int32) {

@@ -78,6 +78,14 @@ type Stack struct {
 	// packets addressed to this host (PASE wires its arbitration
 	// client here).
 	CtrlHandler func(p *pkt.Packet)
+	// CreditHandler, when set, receives credit-plane packets
+	// (ExpressPass credits arriving at a sender, credit requests
+	// arriving at a receiver).
+	CreditHandler func(p *pkt.Packet)
+	// OnData, when set, observes every arriving data packet before the
+	// receiver processes it (ExpressPass's credit engine counts
+	// deliveries for its credit-waste feedback).
+	OnData func(p *pkt.Packet)
 	// OnRetx / OnTimeout, when set, observe every retransmitted data
 	// segment and every RTO firing — the flight recorder's flagging
 	// hooks. Nil (the default) costs one pointer test on paths that
@@ -132,6 +140,11 @@ func (st *Stack) nextPktID() uint64 {
 	return st.pktID
 }
 
+// NextPktID hands out the next per-host packet id; protocol subsystems
+// that originate their own packets (ExpressPass credits) draw from the
+// same sequence as the stack's senders.
+func (st *Stack) NextPktID() uint64 { return st.nextPktID() }
+
 // StartFlow begins transmitting the given flow from this stack's host.
 func (st *Stack) StartFlow(spec workload.FlowSpec) *Sender {
 	if spec.Src != st.Host.ID() {
@@ -152,6 +165,9 @@ func (st *Stack) StartFlow(spec workload.FlowSpec) *Sender {
 func (st *Stack) receive(p *pkt.Packet) {
 	switch p.Type {
 	case pkt.Data, pkt.Probe:
+		if p.Type == pkt.Data && st.OnData != nil {
+			st.OnData(p)
+		}
 		st.receiverFor(p).onPacket(p)
 	case pkt.Ack, pkt.ProbeAck:
 		if s, ok := st.senders[p.Flow]; ok {
@@ -160,6 +176,10 @@ func (st *Stack) receive(p *pkt.Packet) {
 	case pkt.Ctrl:
 		if st.CtrlHandler != nil {
 			st.CtrlHandler(p)
+		}
+	case pkt.Credit, pkt.CreditReq:
+		if st.CreditHandler != nil {
+			st.CreditHandler(p)
 		}
 	}
 }

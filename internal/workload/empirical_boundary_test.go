@@ -19,7 +19,7 @@ func TestEmpiricalSampleAtBoundaries(t *testing.T) {
 		{"u=0 collapses to the first anchor", 0, 10},
 		{"inside the first bucket still the first anchor", 0.1, 10},
 		{"exactly the first anchor", 0.25, 10},
-		{"midpoint of the second bucket", 0.5, 55},  // 10 + 0.5*(100-10)
+		{"midpoint of the second bucket", 0.5, 55}, // 10 + 0.5*(100-10)
 		{"exactly the second anchor", 0.75, 100},
 		{"inside the last bucket", 0.875, 550}, // 100 + 0.5*(1000-100)
 		{"u→1 reaches the last anchor", 1.0, 1000},

@@ -2,8 +2,8 @@
 // ("Friends, not Foes — Synthesizing Existing Transport Strategies for
 // Data Center Networks", SIGCOMM 2014) together with the packet-level
 // network simulator, the baseline transports it is evaluated against
-// (DCTCP, D2TCP, L2DCT, pFabric, PDQ), and the paper's full
-// experimental harness.
+// (DCTCP, D2TCP, L2DCT, pFabric, PDQ, and credit-based ExpressPass),
+// and the paper's full experimental harness.
 //
 // PASE synthesizes three transport strategies:
 //
@@ -81,12 +81,19 @@ const (
 	ProtocolPFabric Protocol = Protocol(experiments.PFabric)
 	ProtocolPDQ     Protocol = Protocol(experiments.PDQ)
 	ProtocolPASE    Protocol = Protocol(experiments.PASE)
+	// ProtocolExpressPass is the credit-based transport of Cho et al.
+	// (SIGCOMM 2017): receivers pace 84-byte credits, senders transmit
+	// one data packet per credit received, and switches rate-limit the
+	// credit class so the triggered data can never oversubscribe a
+	// link — data-plane drops are eliminated by construction and credit
+	// drops become the congestion feedback.
+	ProtocolExpressPass Protocol = Protocol(experiments.ExpressPass)
 )
 
 // Protocols lists every available transport.
 func Protocols() []Protocol {
 	return []Protocol{ProtocolDCTCP, ProtocolD2TCP, ProtocolL2DCT,
-		ProtocolPFabric, ProtocolPDQ, ProtocolPASE}
+		ProtocolPFabric, ProtocolPDQ, ProtocolPASE, ProtocolExpressPass}
 }
 
 // Scenario selects one of the paper's evaluation settings.
@@ -116,13 +123,30 @@ const (
 	// ScenarioLeafSpineWide: a wider 8-leaf × 4-spine fabric (80 hosts)
 	// used by the sharded-engine benchmarks.
 	ScenarioLeafSpineWide Scenario = Scenario(experiments.LeafSpineWide)
+	// ScenarioHighspeed10/40/100: extension — a 10/40/100 Gbps
+	// single-rack all-to-all with rate-scaled buffers and short link
+	// delays, the regime ExpressPass targets.
+	ScenarioHighspeed10  Scenario = Scenario(experiments.Highspeed10)
+	ScenarioHighspeed40  Scenario = Scenario(experiments.Highspeed40)
+	ScenarioHighspeed100 Scenario = Scenario(experiments.Highspeed100)
+	// ScenarioHighspeedShallow: the 100 Gbps rack with a shallow
+	// 64-packet buffer — rate-scaled buffering no longer hides bursts.
+	ScenarioHighspeedShallow Scenario = Scenario(experiments.HighspeedShallow)
+	// ScenarioIncast64 / ScenarioIncast256: 64 and 256 synchronized
+	// senders converging on one 100 Gbps receiver. At 256→1 the senders
+	// outnumber the bottleneck's buffer slots, so window-based
+	// transports must drop; credit-based ones must not.
+	ScenarioIncast64  Scenario = Scenario(experiments.Incast64)
+	ScenarioIncast256 Scenario = Scenario(experiments.Incast256)
 )
 
 // Scenarios lists every available scenario.
 func Scenarios() []Scenario {
 	return []Scenario{ScenarioLeftRight, ScenarioIntraRack,
 		ScenarioIntraRackLarge, ScenarioWorkerAgg, ScenarioDeadline,
-		ScenarioTestbed, ScenarioLeafSpine, ScenarioLeafSpineWide}
+		ScenarioTestbed, ScenarioLeafSpine, ScenarioLeafSpineWide,
+		ScenarioHighspeed10, ScenarioHighspeed40, ScenarioHighspeed100,
+		ScenarioHighspeedShallow, ScenarioIncast64, ScenarioIncast256}
 }
 
 // PASEOptions toggle PASE's internal mechanisms (ablations).
@@ -276,8 +300,9 @@ type Report struct {
 
 	// LossRate is dropped data packets over attempted transmissions.
 	LossRate float64
-	// CtrlMessages counts control-plane messages (PASE arbitration or
-	// PDQ header exchanges).
+	// CtrlMessages counts control-plane messages (PASE arbitration,
+	// PDQ header exchanges, or ExpressPass credits and credit
+	// requests).
 	CtrlMessages int64
 
 	Retransmits int64
