@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke highspeed-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
+.PHONY: build vet test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke highspeed-smoke te-smoke bench-smoke bench obs-bench manifest-sample snapshot ci
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,17 @@ highspeed-smoke:
 	PASE_CHECK=1 $(GO) test -run 'TestConformanceDigest|TestShardedDigestEquality|TestExpressPass|TestHighspeed' -count=1 -v ./internal/experiments/
 	PASE_CHECK=1 $(GO) run ./cmd/pasesim -protocol ExpressPass -scenario incast-256 -load 0.7 -flows 100000 -stream -check -progress=false
 
+# Routing-control-loop gate: the route-table unit pins (clean == pure
+# ECMP, minimal-churn failover, exact recovery, link-ID helpers), the
+# te-failover survival + control-arm + sharded-equality + idle
+# non-interference pins under the forced invariant checker
+# (route_valid / route_loop included), then one checked rerouted run
+# through a real uplink outage end to end.
+te-smoke:
+	PASE_CHECK=1 $(GO) test -run 'TestRouteTable|TestECMPSpine|TestLeafSpineLinkID|TestTE' -count=1 -v ./internal/topology/ ./internal/experiments/
+	PASE_CHECK=1 $(GO) run ./cmd/pasesim -protocol PASE -scenario te-failover -load 0.6 -flows 2000 \
+		-reroute -te -abort-after 100ms -faults "linkdown:link=80,at=3100us,for=250ms" -check -progress=false
+
 # One-iteration figure regenerations: catches perf cliffs and keeps
 # the bench harness compiling without paying full bench time. The
 # Fig09a pattern also covers BenchmarkFig09aObsOverhead and
@@ -108,4 +119,4 @@ manifest-sample:
 snapshot:
 	$(GO) run ./cmd/benchsnap
 
-ci: vet build test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke highspeed-smoke bench-smoke obs-bench
+ci: vet build test race check-test chaos-smoke scale-smoke shard-smoke trace-smoke fuzz-smoke highspeed-smoke te-smoke bench-smoke obs-bench

@@ -24,7 +24,10 @@ import (
 
 	"pase"
 	"pase/internal/experiments"
+	"pase/internal/pkt"
+	"pase/internal/route"
 	"pase/internal/sim"
+	"pase/internal/topology"
 )
 
 // Snapshot is the schema of one BENCH_<date>.json file.
@@ -56,6 +59,26 @@ type Snapshot struct {
 	// recorder budget is ≤2% overhead when disabled; the on-column
 	// records the full recording cost.
 	Trace *TraceBench `json:"trace,omitempty"`
+	// TE pins the routing control loop: a RouteTable failover
+	// micro-benchmark (the reroute latency of one link-state event) and
+	// the te-failover point timed with the reroute+TE loop on versus
+	// off, so TE-epoch overhead shows up as a wall-clock delta.
+	TE *TEBench `json:"te,omitempty"`
+}
+
+// TEBench is the routing-control-loop cost record. FailoverNsOp is one
+// SetUplink(down) + Pick + SetUplink(up) cycle — the copy-on-write
+// epoch swap plus the survivor-scan lookup a failure triggers. The
+// on/off columns time the same fault-free te-failover point with and
+// without the control loop attached, best of Reps each, so OverheadPct
+// is the pure cost of the periodic TE epochs and link-state plumbing.
+type TEBench struct {
+	Flows        int     `json:"flows"`
+	Reps         int     `json:"reps"`
+	OffMS        float64 `json:"off_ms"`
+	OnMS         float64 `json:"on_ms"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	FailoverNsOp float64 `json:"failover_ns_per_op"`
 }
 
 // TraceBench is the flight-recorder overhead record: the same point
@@ -130,6 +153,7 @@ func main() {
 		shardflows  = flag.Int("shardflows", 100_000, "flows for the sharded speedup scale point (0 disables the section)")
 		shardcounts = flag.String("shardcounts", "2,4,8", "shard counts to time against the serial engine")
 		traceflows  = flag.Int("traceflows", 2000, "flows for the trace-on/off overhead point (0 disables the section)")
+		teflows     = flag.Int("teflows", 2000, "flows for the routing/TE control-loop overhead point (0 disables the section)")
 		out         = flag.String("out", "", "output file or directory (default BENCH_<date>.json in the working directory)")
 	)
 	flag.Parse()
@@ -203,6 +227,9 @@ func main() {
 	if *traceflows > 0 {
 		snap.Trace = benchTrace(*traceflows, 3)
 	}
+	if *teflows > 0 {
+		snap.TE = benchTE(*teflows, 3)
+	}
 
 	path := *out
 	switch {
@@ -246,6 +273,55 @@ func main() {
 		fmt.Printf("trace @ %d flows: off %.0f ms, on %.0f ms (%+.1f%% recording overhead)\n",
 			tb.Flows, tb.OffMS, tb.OnMS, tb.OverheadPct)
 	}
+	if te := snap.TE; te != nil {
+		fmt.Printf("te @ %d flows: off %.0f ms, on %.0f ms (%+.1f%% control-loop overhead), failover %.0f ns/op\n",
+			te.Flows, te.OffMS, te.OnMS, te.OverheadPct, te.FailoverNsOp)
+	}
+}
+
+// benchTE times the fault-free te-failover point with the routing
+// control loop off and on (best of reps), and micro-benchmarks one
+// RouteTable failover cycle: uplink down (copy-on-write epoch swap),
+// one detoured lookup, uplink back up.
+func benchTE(flows, reps int) *TEBench {
+	cfg := experiments.PointConfig{
+		Protocol: experiments.DCTCP, Scenario: experiments.TEFailover,
+		Load: 0.5, Seed: 1, NumFlows: flows,
+	}
+	best := func(c experiments.PointConfig) float64 {
+		min := 0.0
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			experiments.RunPoint(c)
+			if w := float64(time.Since(start).Microseconds()) / 1000; i == 0 || w < min {
+				min = w
+			}
+		}
+		return min
+	}
+	off := best(cfg)
+	looped := cfg
+	looped.Route = route.Config{Reroute: true, TE: true}
+	on := best(looped)
+
+	const spines, racks = 4, 8
+	ports := make([]int, spines)
+	for s := range ports {
+		ports[s] = s
+	}
+	rt := topology.NewRouteTable(0, ports, racks)
+	const iters = 200_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		s := i % spines
+		rt.SetUplink(s, true)
+		rt.Pick(i%racks, pkt.FlowID(i))
+		rt.SetUplink(s, false)
+	}
+	failover := float64(time.Since(start).Nanoseconds()) / iters
+
+	return &TEBench{Flows: flows, Reps: reps, OffMS: off, OnMS: on,
+		OverheadPct: 100 * (on - off) / off, FailoverNsOp: failover}
 }
 
 // benchTrace times one fig-9a-style point with the flight recorder off

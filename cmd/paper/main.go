@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		figID     = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing, task, leafspine, robust, scale, highspeed)")
+		figID     = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing, task, leafspine, robust, scale, highspeed, te)")
 		all       = flag.Bool("all", false, "regenerate every figure")
 		list      = flag.Bool("list", false, "list the available figures")
 		flows     = flag.Int("flows", 2000, "foreground flows per simulation point")

@@ -31,7 +31,7 @@ import (
 func main() {
 	var (
 		protocol  = flag.String("protocol", "PASE", "transport: DCTCP, D2TCP, L2DCT, pFabric, PDQ, PASE, ExpressPass")
-		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed, leaf-spine, leaf-spine-wide, highspeed-10, highspeed-40, highspeed-100, highspeed-shallow, incast-64, incast-256")
+		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed, leaf-spine, leaf-spine-wide, te-failover, highspeed-10, highspeed-40, highspeed-100, highspeed-shallow, incast-64, incast-256")
 		load      = flag.Float64("load", 0.7, "offered load in (0,1]")
 		flows     = flag.Int("flows", 2000, "number of foreground flows")
 		seed      = flag.Uint64("seed", 1, "workload seed")
@@ -52,6 +52,10 @@ func main() {
 		traceSp   = flag.Bool("trace-spill", false, "stream the -trace output as flows complete (O(in-flight) memory; forces the serial engine)")
 		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
 		faultSpec = flag.String("faults", "", `fault-injection plan, e.g. "loss:link=*,class=data,rate=0.01; ctrl:drop=0.2"`)
+	reroute   = flag.Bool("reroute", false, "leaf-spine fabrics: reroute around failed fabric links (reacts to -faults link outages)")
+	teFlag    = flag.Bool("te", false, "leaf-spine fabrics: periodic traffic engineering, shifting hot ECMP buckets off loaded uplinks")
+	teEpoch   = flag.Duration("te-epoch", 0, "TE decision period (0 = 1ms default)")
+	abortAft  = flag.Duration("abort-after", 0, "abort flows making no forward progress for this long (0 = never; aborted flows are excluded from AFCT)")
 		stream    = flag.Bool("stream", false, "bounded-memory streaming run: iterator arrivals, recycled flow state, sketch quantiles")
 		shards    = flag.Int("shards", 0, "engine shards for the run (0/1 = serial; results and traces byte-identical at any setting; PASE/PDQ fall back to serial)")
 		scale     = flag.Int("scale", 0, "shortcut for a large streaming run: implies -stream with this many flows")
@@ -95,6 +99,10 @@ func main() {
 		Check:          *chkFlag,
 		Stream:         *stream,
 		Shards:         *shards,
+		Reroute:        *reroute,
+		TE:             *teFlag,
+		TEEpoch:        *teEpoch,
+		AbortAfter:     *abortAft,
 		FlowTrace:      *flowLog != "",
 		SpanTrace:      *traceOut != "",
 		TraceSampleN:   *traceN,
@@ -253,6 +261,9 @@ func printReport(cfg pase.SimConfig, rep *pase.Report, cdf bool) {
 	fmt.Printf("scenario        %s\n", cfg.Scenario)
 	fmt.Printf("offered load    %.0f%%\n", cfg.Load*100)
 	fmt.Printf("flows           %d (%d completed)\n", rep.Flows, rep.Completed)
+	if rep.Aborted > 0 {
+		fmt.Printf("aborted         %d (excluded from AFCT)\n", rep.Aborted)
+	}
 	fmt.Printf("AFCT            %v\n", rep.AFCT)
 	fmt.Printf("median FCT      %v\n", rep.P50)
 	fmt.Printf("99th-pct FCT    %v\n", rep.P99)
@@ -321,11 +332,11 @@ func writeTo(path string, fn func(w io.Writer) error) error {
 // writeFlowOutcomes dumps per-flow outcomes as TSV.
 func writeFlowOutcomes(path string, flows []pase.FlowOutcome) error {
 	return writeTo(path, func(w io.Writer) error {
-		fmt.Fprintln(w, "# id\tsize\tstart_us\tfct_us\tdeadline_us\tdone\tretx\ttimeouts")
+		fmt.Fprintln(w, "# id\tsize\tstart_us\tfct_us\tdeadline_us\tdone\taborted\tretx\ttimeouts")
 		for _, fl := range flows {
-			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%v\t%d\t%d\n",
 				fl.ID, fl.Size, fl.Start.Microseconds(), fl.FCT.Microseconds(),
-				fl.Deadline.Microseconds(), fl.Done, fl.Retx, fl.Timeouts)
+				fl.Deadline.Microseconds(), fl.Done, fl.Aborted, fl.Retx, fl.Timeouts)
 		}
 		return nil
 	})

@@ -8,7 +8,9 @@ import (
 	"pase/internal/faults"
 	"pase/internal/metrics"
 	"pase/internal/obs"
+	"pase/internal/route"
 	"pase/internal/sim"
+	"pase/internal/topology"
 )
 
 // Opts scales an experiment run: fewer flows for quick looks and
@@ -235,6 +237,7 @@ var Figures = []Figure{
 	{ID: "robust", Title: "Robustness: AFCT vs control-plane failure severity, PASE vs DCTCP baseline", Run: figRobust},
 	{ID: "scale", Title: "Extension: streaming million-flow scale sweep (leaf-spine)", Run: figScale},
 	{ID: "highspeed", Title: "Extension: ExpressPass vs PASE vs DCTCP on high-speed links", Run: figHighspeed},
+	{ID: "te", Title: "Robustness: reactive rerouting + hotspot TE under fabric-link failures (te-failover)", Run: figTE},
 }
 
 // Lookup returns the figure with the given ID.
@@ -795,6 +798,105 @@ func figHighspeed(o Opts) *Result {
 		fmt.Sprintf("256→1 incast at 100 Gbps, %.0f%% load: ExpressPass dropped %d data pkts (queue peak %d), DCTCP dropped %d (queue peak %d)",
 			incastLoad*100, ep.Queues.DroppedData, ep.Queues.MaxLen, dc.Queues.DroppedData, dc.Queues.MaxLen),
 		fmt.Sprintf("rate sweep at %.0f%% offered load; credit shaping keeps the data queue bounded with no data-plane drops", load*100))
+	ex.fill(res)
+	return res
+}
+
+// teUplinkChaos downs the first k leaf→spine-0 uplinks, staggered
+// TEFaultStagger apart so no two rules fire at one instant and none
+// lands on a TE-epoch multiple — same-instant fault rules on
+// different shards would race for rank order in sharded runs.
+func teUplinkChaos(ls topology.LeafSpineConfig, k int, seed uint64) *faults.Plan {
+	if k <= 0 {
+		return nil
+	}
+	pl := &faults.Plan{Seed: seed}
+	for r := 0; r < k; r++ {
+		pl.Links = append(pl.Links, faults.LinkFault{
+			Link: ls.UplinkID(r, 0),
+			At:   TEFaultStart + sim.Duration(r)*TEFaultStagger,
+			For:  TEFaultFor,
+		})
+	}
+	return pl
+}
+
+// figTE is the routing-control-loop experiment on the te-failover
+// fabric (4 leaves × 3 spines): a chaos plan downs the leaf→spine-0
+// uplinks one by one and the arms differ only in who reacts. PASE+TE
+// runs the reactive reroute + hotspot-TE control loop, which rehashes
+// the dead spine's ECMP buckets onto the survivors within a link
+// delay; PASE and DCTCP leave routing frozen at the build-time ECMP
+// hash, so the flows hashed onto spine 0 blackhole until the progress
+// deadline aborts them. X is how many of the four uplinks fail, Y the
+// fraction of foreground flows completing; the notes carry the AFCT
+// cost of surviving the failure (vs fault-free) per arm.
+func figTE(o Opts) *Result {
+	const load = 0.6
+	ls := teFailoverLS()
+	arms := []struct {
+		name string
+		p    Protocol
+		rt   route.Config
+	}{
+		{"PASE+TE", PASE, route.Config{Reroute: true, TE: true}},
+		{"PASE", PASE, route.Config{}},
+		{"DCTCP", DCTCP, route.Config{}},
+	}
+	ks := []int{0, 1, 2, 3, 4}
+	cfgs := make([]PointConfig, 0, len(arms)*len(ks))
+	for _, arm := range arms {
+		for _, k := range ks {
+			cfgs = append(cfgs, PointConfig{Protocol: arm.p, Scenario: TEFailover,
+				Load: load, Seed: o.Seed, NumFlows: o.NumFlows,
+				Route: arm.rt, AbortAfter: TEAbortAfter,
+				Faults: teUplinkChaos(ls, k, o.Seed)})
+		}
+	}
+	ex := newPointExtras(len(cfgs))
+	rs := make([]PointResult, len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
+		rs[i] = r
+		ex.observe(i, r)
+	})
+	res := &Result{
+		ID: "te", Title: "Reactive rerouting + hotspot TE under uplink failures (te-failover)",
+		XLabel: "Failed leaf→spine-0 uplinks", YLabel: "Fraction of flows completing",
+	}
+	idx := 0
+	for _, arm := range arms {
+		s := Series{Name: arm.name}
+		var cleanAFCT, failAFCT float64
+		var aborted int
+		for _, k := range ks {
+			r := rs[idx]
+			idx++
+			surv := 0.0
+			if r.Summary.Flows > 0 {
+				surv = float64(r.Summary.Completed) / float64(r.Summary.Flows)
+			}
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, surv)
+			switch k {
+			case 0:
+				cleanAFCT = r.Summary.AFCT.Millis()
+			case ks[len(ks)-1]:
+				failAFCT = r.Summary.AFCT.Millis()
+				aborted = r.Summary.Aborted
+			}
+		}
+		res.Series = append(res.Series, s)
+		ratio := 0.0
+		if cleanAFCT > 0 {
+			ratio = failAFCT / cleanAFCT
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: AFCT %.3f ms fault-free → %.3f ms with all four uplinks down (%.2fx), %d flows aborted",
+			arm.name, cleanAFCT, failAFCT, ratio, aborted))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"uplinks fail at %v + k·%v for %v each; progress deadline %v; offered load %.0f%%",
+		TEFaultStart.Std(), TEFaultStagger.Std(), TEFaultFor.Std(), TEAbortAfter.Std(), load*100))
 	ex.fill(res)
 	return res
 }

@@ -110,6 +110,20 @@ const HighspeedLinkDelay = 5 * sim.Microsecond
 // in the worker-aggregator scenario.
 const WorkerFanin = 19
 
+// Routing-control-loop (te figure) parameters: the chaos plan downs
+// leaf→spine-0 uplinks one per TEFaultStagger starting at TEFaultStart
+// — staggered so no two rules share an instant and none lands on a
+// TE-epoch multiple (same-instant fault rules on different shards
+// would race for rank order in sharded runs) — each outage lasting
+// TEFaultFor; TEAbortAfter is the progress deadline that turns
+// blackholed flows into aborts.
+const (
+	TEFaultStart   = 3100 * sim.Microsecond
+	TEFaultStagger = 1000 * sim.Microsecond
+	TEFaultFor     = 250 * sim.Millisecond
+	TEAbortAfter   = 100 * sim.Millisecond
+)
+
 // reference capacities for offered load.
 func intraRackReference(hosts int) netem.BitRate {
 	return netem.BitRate(hosts) * netem.Gbps

@@ -13,6 +13,7 @@ import (
 	"pase/internal/netem"
 	"pase/internal/obs"
 	"pase/internal/pkt"
+	"pase/internal/route"
 	"pase/internal/sim"
 	"pase/internal/topology"
 	"pase/internal/trace"
@@ -74,6 +75,12 @@ const (
 	// 12 partition atoms) used by the sharded-engine benchmarks — enough
 	// atoms that -shards 8 still gets distinct work per shard.
 	LeafSpineWide Scenario = "leaf-spine-wide"
+	// TEFailover: a 4-leaf × 3-spine fabric (non-power-of-two spine
+	// count, so ECMP bucket math gets exercised off the easy modulus)
+	// for the routing-control-loop experiments: chaos plans down
+	// leaf↔spine links mid-run and the reactive reroute + hotspot-TE
+	// loop keeps flows alive.
+	TEFailover Scenario = "te-failover"
 	// The highspeed family: scenarios the paper never had, where
 	// credit-based and window/arbitration-based control diverge most.
 	// Highspeed10/40/100 sweep a single-rack all-to-all fabric across
@@ -165,6 +172,16 @@ type PointConfig struct {
 	// run byte-identical to a fault-free one (the injector is never
 	// built and the fault RNG stream is never created).
 	Faults *faults.Plan
+	// Route enables the reactive routing control loop (failure
+	// rerouting and/or hotspot TE) on leaf-spine fabrics. The zero
+	// value leaves routing frozen at the build-time ECMP hash and the
+	// run byte-identical to one before the control loop existed.
+	Route route.Config
+	// AbortAfter, when positive, makes every sender abort its flow
+	// after this much time without forward progress (new data acked).
+	// Aborted flows are excluded from AFCT and reported separately in
+	// the Summary. Zero disables aborts.
+	AbortAfter sim.Duration
 	// Stream runs the point through the bounded-memory path: arrivals
 	// are pulled from workload.Spec.Stream one at a time and flow
 	// records land in a metrics.StreamCollector, so memory is
@@ -234,6 +251,15 @@ type scenarioSpec struct {
 	epoch     sim.Duration
 }
 
+// teFailoverLS is the te-failover fabric: DefaultLeafSpine widened to
+// three spines. The te figure's fault plans compute link IDs from it,
+// so the scenario and the plans share one shape.
+func teFailoverLS() topology.LeafSpineConfig {
+	ls := topology.DefaultLeafSpine(nil)
+	ls.Spines = 3
+	return ls
+}
+
 func scenario(s Scenario) scenarioSpec {
 	switch s {
 	case LeftRight:
@@ -298,6 +324,20 @@ func scenario(s Scenario) scenarioSpec {
 	case LeafSpineWide:
 		ls := topology.DefaultLeafSpine(nil)
 		ls.Leaves, ls.Spines = 8, 4
+		return scenarioSpec{
+			buildLS: &ls,
+			pattern: func(n *topology.Network) workload.Pattern {
+				return workload.AllToAll{Hosts: workload.HostRange(0, ls.Leaves*ls.HostsPerLeaf)}
+			},
+			sizes:     workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+			reference: netem.BitRate(ls.Leaves*ls.HostsPerLeaf) * netem.Gbps,
+			bgFlows:   BackgroundFlows,
+			markK:     MarkingThreshold,
+			qSize:     DCTCPQueueSize,
+			epoch:     200 * sim.Microsecond,
+		}
+	case TEFailover:
+		ls := teFailoverLS()
 		return scenarioSpec{
 			buildLS: &ls,
 			pattern: func(n *topology.Network) workload.Pattern {
@@ -553,9 +593,40 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 		inj.Arm()
 	}
 
+	// Routing control loop: attached right after fault arming in both
+	// the serial and sharded paths so its TE epoch timers hold the same
+	// setup rank slots. routeRec is bound later, once the recorder
+	// exists.
+	var routeRec func(ev trace.RouteEvent)
+	var routeCtl *route.Controller
+	if cfg.Route.Enabled() && net.IsLeafSpine() {
+		routeCtl = route.Attach(route.Params{
+			Net: net, Cfg: cfg.Route,
+			EngineOf: func(int) *sim.Engine { return eng },
+			Deliver: func(_ netem.Node, _ int, fn func()) {
+				eng.Schedule(net.Cfg.LinkDelay, fn)
+			},
+			ChkOf: func(int) *check.Checker { return chk },
+			RegOf: func(int) *obs.Registry { return reg },
+			Record: func(_ int, ev trace.RouteEvent) {
+				if routeRec != nil {
+					routeRec(ev)
+				}
+			},
+		})
+		if inj != nil && routeCtl != nil {
+			inj.OnLinkState = routeCtl.LinkState
+		}
+	}
+
 	d := transport.NewDriver(net, nil)
 	d.Instrument(reg)
 	d.AttachCheck(chk)
+	if cfg.AbortAfter > 0 {
+		for _, st := range d.Stacks {
+			st.AbortAfter = cfg.AbortAfter
+		}
+	}
 
 	var pdqSys *pdq.System
 	var paseSys *arbitration.System
@@ -645,6 +716,9 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 		}
 		srec = rec.Shard(eng)
 		rec.SetMeta(traceMeta(cfg, net))
+		if routeCtl != nil {
+			routeRec = srec.Route
+		}
 		if paseT != nil {
 			wirePASETraceHooks(srec, paseT, paseSys)
 		}
@@ -881,6 +955,11 @@ func scrapeTrace(reg *obs.Registry, rt *trace.RunTrace) {
 	reg.Counter("trace/spans_truncated").Add(st.SpansTruncated)
 	reg.Counter("trace/ctrl_spans").Add(st.CtrlTotal)
 	reg.Counter("trace/ctrl_evicted").Add(st.CtrlEvicted)
+	// Routed runs only: untouched runs must keep their manifests
+	// byte-identical to pre-routing builds.
+	if len(rt.Route) > 0 {
+		reg.Counter("trace/route_events").Add(int64(len(rt.Route)))
+	}
 }
 
 // wireTraceHooks installs the flow-log and flight-recorder hooks on the

@@ -11,6 +11,7 @@ import (
 	"pase/internal/netem"
 	"pase/internal/obs"
 	"pase/internal/pkt"
+	"pase/internal/route"
 	"pase/internal/sim"
 	"pase/internal/topology"
 	"pase/internal/trace"
@@ -189,11 +190,12 @@ func runPointSharded(cfg PointConfig) PointResult {
 	// links its shard transmits on. Per-link RNG streams make the draw
 	// sequences identical to serial; crash timers arm on shard 0 only
 	// so the faults/arb_* counters keep their serial totals.
+	var injs []*faults.Injector
 	if !cfg.Faults.Empty() {
 		if err := cfg.Faults.Validate(); err != nil {
 			panic(err)
 		}
-		injs := make([]*faults.Injector, nsh)
+		injs = make([]*faults.Injector, nsh)
 		for i := 0; i < nsh; i++ {
 			injs[i] = faults.NewInjector(se.Shard(i), cfg.Faults, cfg.Seed)
 			injs[i].Instrument(regs[i])
@@ -207,10 +209,58 @@ func runPointSharded(cfg PointConfig) PointResult {
 		}
 	}
 
+	// Routing control loop, attached at the same setup position as the
+	// serial path (after fault arming, before the driver) so its TE
+	// epoch timers hold the same setup rank slots. Cross-shard table
+	// updates ride the lookahead handoff with captured rank slots; the
+	// same-shard branch consumes the matching child slot via the ranked
+	// Schedule, so serial and sharded event orders agree.
+	var routeRec func(rack int, ev trace.RouteEvent)
+	var routeCtl *route.Controller
+	if cfg.Route.Enabled() && net.IsLeafSpine() {
+		shardOfRack := func(rack int) int { return part.ShardOf(net.ToRs[rack]) }
+		routeCtl = route.Attach(route.Params{
+			Net: net, Cfg: cfg.Route,
+			EngineOf: func(rack int) *sim.Engine { return se.Shard(shardOfRack(rack)) },
+			Deliver: func(from netem.Node, dstRack int, fn func()) {
+				ss, ds := part.ShardOf(from), shardOfRack(dstRack)
+				e := se.Shard(ss)
+				if ss == ds {
+					e.Schedule(linkDelay, fn)
+					return
+				}
+				ctx, k := e.ChildSlot()
+				se.Handoff(ss, ds, e.Now().Add(linkDelay), ctx, k, fn)
+			},
+			ChkOf: func(rack int) *check.Checker {
+				if chks == nil {
+					return nil
+				}
+				return chks[shardOfRack(rack)]
+			},
+			RegOf: func(rack int) *obs.Registry { return regs[shardOfRack(rack)] },
+			Record: func(rack int, ev trace.RouteEvent) {
+				if routeRec != nil {
+					routeRec(rack, ev)
+				}
+			},
+		})
+		if injs != nil && routeCtl != nil {
+			for i := range injs {
+				injs[i].OnLinkState = routeCtl.LinkState
+			}
+		}
+	}
+
 	d := transport.NewDriver(net, nil)
 	d.InstrumentEach(func(h pkt.NodeID) *obs.Registry { return regs[part.ShardOfID(h)] })
 	if chks != nil {
 		d.ChkOf = func(src pkt.NodeID) *check.Checker { return chks[part.ShardOfID(src)] }
+	}
+	if cfg.AbortAfter > 0 {
+		for _, st := range d.Stacks {
+			st.AbortAfter = cfg.AbortAfter
+		}
 	}
 
 	var epSys *expresspass.System
@@ -296,6 +346,11 @@ func runPointSharded(cfg PointConfig) PointResult {
 		}
 		rec.SetMeta(traceMeta(cfg, net))
 		recOf = func(src pkt.NodeID) *trace.ShardRecorder { return srecs[part.ShardOfID(src)] }
+		if routeCtl != nil {
+			routeRec = func(rack int, ev trace.RouteEvent) {
+				srecs[part.ShardOf(net.ToRs[rack])].Route(ev)
+			}
+		}
 	}
 	wireTraceHooks(cfg, d, flogOf, recOf)
 	var samplers []*trace.Sampler

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"testing"
+
+	"pase/internal/route"
+)
+
+// Tests for the reactive routing control loop on the te-failover
+// scenario: failure rerouting keeps flows alive through uplink
+// outages, frozen ECMP strands them, and the whole loop shards
+// byte-identically.
+
+// teChaosPoint is the te figure's stress point at test scale: PASE on
+// the 4-leaf × 3-spine fabric with every leaf's spine-0 uplink failing
+// in a staggered wave.
+func teChaosPoint(p Protocol, rt route.Config) PointConfig {
+	ls := teFailoverLS()
+	return PointConfig{
+		Protocol:   p,
+		Scenario:   TEFailover,
+		Load:       0.6,
+		Seed:       1,
+		NumFlows:   300,
+		Check:      true,
+		Obs:        true,
+		Route:      rt,
+		AbortAfter: TEAbortAfter,
+		Faults:     teUplinkChaos(ls, ls.Leaves, 1),
+	}
+}
+
+// TestTERerouteSurvival is the issue's acceptance pin: with the
+// control loop on, PASE keeps at least 95% of flows alive through the
+// full uplink-failure wave, with AFCT within 2x of the fault-free run,
+// and the checker's route invariants stay clean.
+func TestTERerouteSurvival(t *testing.T) {
+	cfg := teChaosPoint(PASE, route.Config{Reroute: true, TE: true})
+	r := RunPoint(cfg)
+	if r.Violations != 0 {
+		t.Fatalf("invariant checker reported %d violations:\n%v", r.Violations, r.CheckViolations)
+	}
+	sum := r.Summary
+	if sum.Flows == 0 {
+		t.Fatal("no flows ran")
+	}
+	survival := float64(sum.Completed) / float64(sum.Flows)
+	if survival < 0.95 {
+		t.Errorf("survival %.3f (%d/%d completed, %d aborted), want >= 0.95",
+			survival, sum.Completed, sum.Flows, sum.Aborted)
+	}
+	if n := r.Obs.Counters["route/link_down"]; n < int64(teFailoverLS().Leaves) {
+		t.Errorf("route/link_down = %d, want >= %d (one per failed uplink)",
+			n, teFailoverLS().Leaves)
+	}
+	if r.Obs.Counters["route/reroutes"] == 0 {
+		t.Error("route/reroutes never fired though uplinks failed")
+	}
+
+	clean := cfg
+	clean.Faults = nil
+	cr := RunPoint(clean)
+	if cr.Violations != 0 {
+		t.Fatalf("fault-free run reported %d violations", cr.Violations)
+	}
+	if cr.Summary.AFCT == 0 {
+		t.Fatal("fault-free run completed nothing")
+	}
+	if sum.AFCT > 2*cr.Summary.AFCT {
+		t.Errorf("faulted AFCT %v > 2x fault-free %v", sum.AFCT, cr.Summary.AFCT)
+	}
+}
+
+// TestTEFrozenRoutingStrands is the control arm: the same failure wave
+// with the loop off blackholes the spine-0 flows, which the progress
+// deadline turns into aborts — proving the chaos plan actually bites
+// and that aborts are counted and excluded from completion.
+func TestTEFrozenRoutingStrands(t *testing.T) {
+	r := RunPoint(teChaosPoint(PASE, route.Config{}))
+	if r.Violations != 0 {
+		t.Fatalf("invariant checker reported %d violations:\n%v", r.Violations, r.CheckViolations)
+	}
+	sum := r.Summary
+	if sum.Aborted == 0 {
+		t.Fatal("frozen routing under the uplink wave should strand and abort flows")
+	}
+	if got := r.Obs.Counters["transport/aborts"]; got != int64(sum.Aborted) {
+		t.Errorf("transport/aborts = %d, Summary.Aborted = %d", got, sum.Aborted)
+	}
+	if sum.Completed+sum.Aborted > sum.Flows {
+		t.Errorf("completed %d + aborted %d exceeds flows %d", sum.Completed, sum.Aborted, sum.Flows)
+	}
+	if survival := float64(sum.Completed) / float64(sum.Flows); survival >= 0.95 {
+		t.Errorf("frozen-routing survival %.3f unexpectedly high — chaos plan is not biting", survival)
+	}
+}
+
+// TestTEShardedEquality pins the control loop's sharding contract:
+// route updates ride the conservative-lookahead handoff, so a DCTCP
+// te-failover run with reroute + TE + faults + aborts produces the
+// exact serial digest at every shard count. (PASE pins the serial
+// fallback path instead — TestShardedFallback.)
+func TestTEShardedEquality(t *testing.T) {
+	cfg := teChaosPoint(DCTCP, route.Config{Reroute: true, TE: true})
+	cfg.Obs = false
+	want := digestResult(runShards(t, cfg, 0))
+	if rerun := digestResult(runShards(t, cfg, 0)); rerun != want {
+		t.Fatalf("serial te-failover run not deterministic: %#x vs %#x", rerun, want)
+	}
+	for _, shards := range []int{1, 2, 3, 4} {
+		if got := digestResult(runShards(t, cfg, shards)); got != want {
+			t.Errorf("shards=%d: digest %#x, want serial %#x", shards, got, want)
+		}
+	}
+}
+
+// TestTENonInterference: with the loop off, no faults and no abort
+// deadline, the te-failover scenario is an ordinary deterministic
+// point — the route machinery idle in the path must not perturb
+// repeat runs or the sharded digest.
+func TestTENonInterference(t *testing.T) {
+	cfg := PointConfig{
+		Protocol: DCTCP, Scenario: TEFailover,
+		Load: 0.6, Seed: 1, NumFlows: 200, Check: true,
+	}
+	want := digestResult(runShards(t, cfg, 0))
+	if rerun := digestResult(runShards(t, cfg, 0)); rerun != want {
+		t.Fatalf("idle te-failover point not deterministic: %#x vs %#x", rerun, want)
+	}
+	for _, shards := range []int{2, 4} {
+		if got := digestResult(runShards(t, cfg, shards)); got != want {
+			t.Errorf("shards=%d: digest %#x, want serial %#x", shards, got, want)
+		}
+	}
+}

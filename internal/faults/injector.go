@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"sort"
 
 	"pase/internal/netem"
@@ -47,6 +48,18 @@ type Injector struct {
 	OnCrash   func(link int)
 	OnRestart func(link int)
 
+	// OnLinkState fires on a link's up/down edges — once when the
+	// first overlapping outage takes the link down and once when the
+	// last one lifts, before queued packets resume draining. The
+	// routing control loop subscribes here. It runs on the shard that
+	// transmits on the link (the injector's engine).
+	OnLinkState func(link int, down bool)
+
+	// reg backs the lazily created per-link blackhole counters (nil
+	// without Instrument).
+	reg             *obs.Registry
+	blackholedLink  map[int]*obs.Counter
+
 	o struct {
 		linkDown, linkUp            *obs.Counter
 		dropData, dropAck, dropCtrl *obs.Counter
@@ -54,6 +67,7 @@ type Injector struct {
 		ctrlReqDrop, ctrlRespDrop   *obs.Counter
 		ctrlDelayed                 *obs.Counter
 		arbCrash, arbRestart        *obs.Counter
+		blackholed                  *obs.Counter
 	}
 }
 
@@ -95,6 +109,22 @@ func (in *Injector) Instrument(reg *obs.Registry) {
 	in.o.ctrlDelayed = reg.Counter("faults/ctrl_delayed")
 	in.o.arbCrash = reg.Counter("faults/arb_crash")
 	in.o.arbRestart = reg.Counter("faults/arb_restart")
+	in.o.blackholed = reg.Counter("faults/blackholed")
+	in.reg = reg
+}
+
+// linkBlackholed returns (creating lazily) the per-link blackhole
+// counter, so run manifests name exactly the links that blackholed.
+func (in *Injector) linkBlackholed(link int) *obs.Counter {
+	if in.blackholedLink == nil {
+		in.blackholedLink = make(map[int]*obs.Counter)
+	}
+	c, ok := in.blackholedLink[link]
+	if !ok {
+		c = in.reg.Counter(fmt.Sprintf("faults/blackholed/link%d", link))
+		in.blackholedLink[link] = c
+	}
+	return c
 }
 
 // BindPort attaches the injector to one directed link's transmitting
@@ -182,11 +212,17 @@ func (in *Injector) setDown(link int, down bool) {
 		if down {
 			in.blocked[id]++
 			in.o.linkDown.Inc()
+			if in.blocked[id] == 1 && in.OnLinkState != nil {
+				in.OnLinkState(id, true)
+			}
 			return
 		}
 		in.blocked[id]--
 		in.o.linkUp.Inc()
 		if in.blocked[id] == 0 {
+			if in.OnLinkState != nil {
+				in.OnLinkState(id, false)
+			}
 			pt.Kick()
 		}
 	})
@@ -257,6 +293,14 @@ type portHook struct {
 
 // Blocked pauses the transmitter while an outage holds the link down.
 func (h *portHook) Blocked(*netem.Port) bool { return h.in.blocked[h.link] > 0 }
+
+// Blackholed implements netem.BlackholeObserver: a packet was dropped
+// at the egress queue because this link's outage had backed it up —
+// distinguishable in the manifest from congestion overflow.
+func (h *portHook) Blackholed(*netem.Port, *pkt.Packet) {
+	h.in.o.blackholed.Inc()
+	h.in.linkBlackholed(h.link).Inc()
+}
 
 // Lose discards or corrupts an already-serialized packet. Rules draw in
 // plan order; zero-probability fields never consume a draw, so a

@@ -22,6 +22,7 @@ type FlowRecord struct {
 	Finish   sim.Time
 	Deadline sim.Time // zero when the flow has no deadline
 	Done     bool     // false if the flow never completed before the run ended
+	Aborted  bool     // the transport killed the flow (progress deadline, early termination)
 	Retx     int      // retransmitted segments
 	Timeouts int
 }
@@ -83,6 +84,10 @@ func (c *Collector) Completed() []FlowRecord {
 type Summary struct {
 	Flows     int
 	Completed int
+	// Aborted counts flows the transport killed (progress-deadline
+	// aborts, PDQ early termination). They are excluded from AFCT and
+	// the percentiles, which run over completed flows only.
+	Aborted int
 
 	AFCT   sim.Duration // average FCT over completed flows
 	P50    sim.Duration
@@ -115,6 +120,9 @@ func (c *Collector) Summarize() Summary {
 				met++
 			}
 		}
+		if r.Aborted {
+			s.Aborted++
+		}
 		if !r.Done {
 			continue
 		}
@@ -140,8 +148,8 @@ func (c *Collector) Summarize() Summary {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("flows=%d done=%d afct=%.3fms p99=%.3fms appTput=%.3f retx=%d timeouts=%d ctrlMsgs=%d",
-		s.Flows, s.Completed, s.AFCT.Millis(), s.P99.Millis(), s.AppThroughput, s.Retx, s.Timeouts, s.CtrlMessages)
+	return fmt.Sprintf("flows=%d done=%d aborted=%d afct=%.3fms p99=%.3fms appTput=%.3f retx=%d timeouts=%d ctrlMsgs=%d",
+		s.Flows, s.Completed, s.Aborted, s.AFCT.Millis(), s.P99.Millis(), s.AppThroughput, s.Retx, s.Timeouts, s.CtrlMessages)
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of a sorted

@@ -23,6 +23,7 @@ type StreamCollector struct {
 
 	flows     int
 	completed int
+	aborted   int
 	fctSum    int64
 	maxFCT    sim.Duration
 
@@ -64,6 +65,9 @@ func (c *StreamCollector) Add(r FlowRecord) {
 			c.deadlineMet++
 		}
 	}
+	if r.Aborted {
+		c.aborted++
+	}
 	if !r.Done {
 		return
 	}
@@ -83,6 +87,7 @@ func (c *StreamCollector) Summarize() Summary {
 	s := Summary{
 		Flows:         c.flows,
 		Completed:     c.completed,
+		Aborted:       c.aborted,
 		DeadlineFlows: c.deadlineFlows,
 		Retx:          c.retx,
 		Timeouts:      c.timeouts,

@@ -51,6 +51,15 @@ type PortFaults interface {
 	Lose(pt *Port, p *pkt.Packet) bool
 }
 
+// BlackholeObserver is optionally implemented by a PortFaults hook
+// that wants drops caused by an outage counted separately: when the
+// egress queue rejects a packet while the link is Blocked, the drop is
+// a blackhole (the queue backed up because the transmitter is paused),
+// not ordinary congestion overflow, and Send reports it here.
+type BlackholeObserver interface {
+	Blackholed(pt *Port, p *pkt.Packet)
+}
+
 // NewPort builds a port owned by node, draining q at rate with the
 // given one-way propagation delay.
 func NewPort(eng *sim.Engine, owner Node, q Queue, rate BitRate, delay sim.Duration) *Port {
@@ -90,6 +99,11 @@ func (pt *Port) Send(p *pkt.Packet) {
 	}
 	p.EnqAt = pt.eng.Now()
 	if !pt.queue.Enqueue(p) {
+		if pt.Faults != nil && pt.Faults.Blocked(pt) {
+			if bo, ok := pt.Faults.(BlackholeObserver); ok {
+				bo.Blackholed(pt, p)
+			}
+		}
 		return
 	}
 	pt.pump()

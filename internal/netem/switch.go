@@ -49,6 +49,20 @@ func (s *Switch) SetRoute(dst pkt.NodeID, portIndex int) {
 	s.nextHop[dst] = portIndex
 }
 
+// NextPort resolves the egress port a packet for (dst, flow) would
+// take, without forwarding anything: the routing-control validity
+// walks use it to traverse the fabric off the data path. Returns nil
+// when the switch has no route (a model bug Receive would panic on).
+func (s *Switch) NextPort(dst pkt.NodeID, flow pkt.FlowID) *Port {
+	if idx, ok := s.nextHop[dst]; ok {
+		return s.ports[idx]
+	}
+	if s.FlowRoute == nil {
+		return nil
+	}
+	return s.ports[s.FlowRoute(&pkt.Packet{Dst: dst, Flow: flow})]
+}
+
 // Receive implements Node: route and forward.
 func (s *Switch) Receive(p *pkt.Packet, _ *Port) {
 	p.Hops++

@@ -50,6 +50,20 @@ func DefaultLeafSpine(newQueue func(QueueKind) netem.Queue) LeafSpineConfig {
 	}
 }
 
+// UplinkID returns the link ID BuildLeafSpine assigns to the
+// rack→spine uplink: host↔leaf pairs are wired first (two links per
+// host, up before down), then the leaf↔spine mesh in (leaf, spine)
+// order, up before down. Fault plans use it to aim at fabric links
+// before the network exists.
+func (cfg LeafSpineConfig) UplinkID(rack, spine int) int {
+	return 2*cfg.Leaves*cfg.HostsPerLeaf + 2*(rack*cfg.Spines+spine)
+}
+
+// DownlinkID returns the link ID of the spine→rack downlink.
+func (cfg LeafSpineConfig) DownlinkID(rack, spine int) int {
+	return cfg.UplinkID(rack, spine) + 1
+}
+
 // BuildLeafSpine wires a leaf-spine fabric. The returned Network
 // reuses the tree Network type: leaves populate ToRs, spines populate
 // Spines, and the flow-aware path methods dispatch on the fabric kind.
@@ -87,6 +101,7 @@ func BuildLeafSpine(eng *sim.Engine, cfg LeafSpineConfig) *Network {
 		downLinks: make(map[pkt.NodeID][]*Link),
 		spineUp:   make(map[int][]*Link),
 		spineDown: make(map[int][]*Link),
+		lsLinks:   make(map[int]LeafSpineLink),
 	}
 
 	numHosts := cfg.Leaves * cfg.HostsPerLeaf
@@ -148,17 +163,22 @@ func BuildLeafSpine(eng *sim.Engine, cfg LeafSpineConfig) *Network {
 			down := link(LevelToRSpine, false, sp, spine, leaf)
 			n.spineUp[r] = append(n.spineUp[r], up)
 			n.spineDown[r] = append(n.spineDown[r], down)
+			n.lsLinks[up.ID] = LeafSpineLink{Rack: r, Spine: s, Up: true}
+			n.lsLinks[down.ID] = LeafSpineLink{Rack: r, Spine: s, Up: false}
 
 			// Spines know every host's leaf.
 			for j := 0; j < cfg.HostsPerLeaf; j++ {
 				spine.SetRoute(n.Hosts[r*cfg.HostsPerLeaf+j].ID(), downIdx)
 			}
-			_ = s
 		}
-		// Remote destinations hash onto a spine uplink.
-		ports := spinePorts
+		// Remote destinations route through the leaf's runtime ECMP
+		// table; as built (clean, no failures) this is exactly the
+		// ECMPSpine hash the closed-over closure used to apply.
+		rt := NewRouteTable(r, spinePorts, cfg.Leaves)
+		n.routes = append(n.routes, rt)
+		hostsPerLeaf := cfg.HostsPerLeaf
 		leaf.FlowRoute = func(p *pkt.Packet) int {
-			return ports[ECMPSpine(p.Flow, len(ports))]
+			return rt.PickPort(int(p.Dst)/hostsPerLeaf, p.Flow)
 		}
 	}
 
@@ -188,11 +208,21 @@ func (n *Network) PathUpFlow(src, dst pkt.NodeID, flow pkt.FlowID) []*Link {
 	if n.RackOf(src) == n.RackOf(dst) {
 		return hostUp
 	}
-	spine := ECMPSpine(flow, len(n.Spines))
+	spine := n.routeSpine(n.RackOf(src), n.RackOf(dst), flow)
 	out := make([]*Link, 0, 2)
 	out = append(out, hostUp...)
 	out = append(out, n.spineUp[n.RackOf(src)][spine])
 	return out
+}
+
+// routeSpine resolves the spine carrying srcRack→dstRack traffic for a
+// flow: the source leaf's route table when the fabric has one, the
+// static ECMP hash otherwise.
+func (n *Network) routeSpine(srcRack, dstRack int, flow pkt.FlowID) int {
+	if n.routes != nil {
+		return n.routes[srcRack].Pick(dstRack, flow)
+	}
+	return ECMPSpine(flow, len(n.Spines))
 }
 
 // PathDownFlow is the flow-aware PathDown (top-down order).
@@ -204,7 +234,7 @@ func (n *Network) PathDownFlow(src, dst pkt.NodeID, flow pkt.FlowID) []*Link {
 	if n.RackOf(src) == n.RackOf(dst) {
 		return hostDown
 	}
-	spine := ECMPSpine(flow, len(n.Spines))
+	spine := n.routeSpine(n.RackOf(src), n.RackOf(dst), flow)
 	out := make([]*Link, 0, 2)
 	out = append(out, n.spineDown[n.RackOf(dst)][spine])
 	out = append(out, hostDown...)

@@ -168,7 +168,44 @@ type Network struct {
 	// mesh links (leaf-spine fabrics only).
 	spineUp   map[int][]*Link
 	spineDown map[int][]*Link
+	// routes[rack] is each leaf's runtime ECMP route table (leaf-spine
+	// fabrics only; nil on trees). lsLinks classifies the fabric mesh
+	// links by (rack, spine, direction) for the routing control loop.
+	routes  []*RouteTable
+	lsLinks map[int]LeafSpineLink
 }
+
+// LeafSpineLink classifies one directed leaf-spine fabric link.
+type LeafSpineLink struct {
+	Rack  int
+	Spine int
+	// Up reports the leaf→spine direction (false = spine→leaf).
+	Up bool
+}
+
+// LeafSpineLinkInfo classifies a link ID on a leaf-spine fabric;
+// ok is false for host links and tree fabrics.
+func (n *Network) LeafSpineLinkInfo(id int) (LeafSpineLink, bool) {
+	l, ok := n.lsLinks[id]
+	return l, ok
+}
+
+// RouteTable returns the runtime route table of a leaf (nil on tree
+// fabrics).
+func (n *Network) RouteTable(rack int) *RouteTable {
+	if n.routes == nil {
+		return nil
+	}
+	return n.routes[rack]
+}
+
+// SpineUpLinks returns rack's leaf→spine links indexed by spine
+// (leaf-spine fabrics only).
+func (n *Network) SpineUpLinks(rack int) []*Link { return n.spineUp[rack] }
+
+// SpineDownLinks returns the spine→leaf links toward rack, indexed by
+// spine (leaf-spine fabrics only).
+func (n *Network) SpineDownLinks(rack int) []*Link { return n.spineDown[rack] }
 
 // Build wires the fabric described by cfg onto the engine.
 func Build(eng *sim.Engine, cfg Config) *Network {

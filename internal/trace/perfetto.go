@@ -23,6 +23,7 @@ const (
 	pidFlows  = 1
 	pidCtrl   = 2
 	pidQueues = 3
+	pidRoute  = 4
 )
 
 // PerfettoStream writes trace-event JSON incrementally: Begin, any
@@ -97,9 +98,9 @@ func (ps *PerfettoStream) Flows(fts []*FlowTrace) {
 	}
 }
 
-// Finish writes the control-plane and queue sections, closes the JSON
-// and flushes. It returns the first underlying write error.
-func (ps *PerfettoStream) Finish(ctrl []CtrlSpan, queue []QueueSample) error {
+// Finish writes the control-plane, queue and routing sections, closes
+// the JSON and flushes. It returns the first underlying write error.
+func (ps *PerfettoStream) Finish(ctrl []CtrlSpan, queue []QueueSample, route []RouteEvent) error {
 	if !ps.began {
 		panic("trace: PerfettoStream.Finish before Begin")
 	}
@@ -124,6 +125,15 @@ func (ps *PerfettoStream) Finish(ctrl []CtrlSpan, queue []QueueSample) error {
 		ps.event(`{"ph":"C","pid":%d,"ts":%s,"name":%q,"args":{"pkts":%d,"bytes":%d}}`,
 			pidQueues, ts(int64(q.At)), q.Port, q.Len, q.Bytes)
 	}
+	if len(route) > 0 {
+		// The routing process only exists in traces that rerouted, so
+		// route-free exports stay byte-identical to pre-routing builds.
+		ps.event(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"routing"}}`, pidRoute)
+		for _, r := range route {
+			ps.event(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%q,"cat":"route","args":{"rack":%d,"spine":%d,"arg":%d}}`,
+				pidRoute, r.Rack, ts(int64(r.At)), r.Kind.String(), r.Rack, r.Spine, r.Arg)
+		}
+	}
 	ps.b.WriteString("\n]}\n")
 	if err := ps.b.Flush(); err != nil {
 		return err
@@ -138,5 +148,5 @@ func (rt *RunTrace) WritePerfetto(w io.Writer) error {
 	ps := NewPerfettoStream(w)
 	ps.Begin(rt.Meta)
 	ps.Flows(rt.Flows)
-	return ps.Finish(rt.Ctrl, rt.Queue)
+	return ps.Finish(rt.Ctrl, rt.Queue, rt.Route)
 }

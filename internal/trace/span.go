@@ -148,6 +148,48 @@ func (ft *FlowTrace) Xfer() sim.Duration {
 	return d
 }
 
+// RouteKind classifies one routing-control-plane event.
+type RouteKind uint8
+
+const (
+	// RouteLinkDown: a link failure reached a leaf's route table and
+	// the affected buckets detoured (Arg = buckets rerouted).
+	RouteLinkDown RouteKind = iota
+	// RouteLinkUp: the failed link recovered and its buckets returned
+	// (Arg = buckets restored).
+	RouteLinkUp
+	// RouteTEMove: a TE epoch shifted one bucket off a hot spine
+	// (Spine = source, Arg = target spine).
+	RouteTEMove
+)
+
+// String names the route event kind for export.
+func (k RouteKind) String() string {
+	switch k {
+	case RouteLinkDown:
+		return "link_down"
+	case RouteLinkUp:
+		return "link_up"
+	case RouteTEMove:
+		return "te_move"
+	}
+	return "route?"
+}
+
+// RouteEvent is one routing-control update applied to a leaf's route
+// table — a reroute around a failure or a TE bucket move.
+type RouteEvent struct {
+	At   sim.Time
+	Rack int // the leaf whose table changed
+	Kind RouteKind
+	// Spine is the subject spine (the failed/recovered one, or the
+	// source of a TE move).
+	Spine int
+	// Arg carries kind-specific detail: buckets moved for link events,
+	// the target spine for TE moves.
+	Arg int64
+}
+
 // CtrlOutcome classifies one arbitration half-exchange.
 type CtrlOutcome uint8
 
@@ -228,6 +270,10 @@ const (
 	DefaultFlowCap    = 1 << 17
 	DefaultMaxPerFlow = 256
 	DefaultCtrlCap    = 1 << 18
+	// DefaultRouteCap bounds retained routing-control events; route
+	// updates are rare (failures and one TE move per epoch per leaf),
+	// so the ring almost never wraps.
+	DefaultRouteCap = 1 << 16
 )
 
 // RecorderConfig parameterizes a Recorder. Zero values take the
@@ -242,6 +288,7 @@ type RecorderConfig struct {
 	FlowCap    int
 	MaxPerFlow int
 	CtrlCap    int
+	RouteCap   int
 }
 
 // Recorder owns a run's flight recording: one ShardRecorder per engine
@@ -264,6 +311,9 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 	}
 	if cfg.CtrlCap <= 0 {
 		cfg.CtrlCap = DefaultCtrlCap
+	}
+	if cfg.RouteCap <= 0 {
+		cfg.RouteCap = DefaultRouteCap
 	}
 	return &Recorder{cfg: cfg}
 }
@@ -330,6 +380,10 @@ type ShardRecorder struct {
 	// Ctrl ring, same shape as done.
 	ctrl    []CtrlSpan
 	ctrlPos int64
+
+	// Route ring, same shape as ctrl.
+	route    []RouteEvent
+	routePos int64
 
 	started    int64
 	sampledOut int64
@@ -493,6 +547,22 @@ func (s *ShardRecorder) Ctrl(cs CtrlSpan) {
 	s.ctrlPos++
 }
 
+// Route records one routing-control update. Call on the shard whose
+// leaf table changed; a run that never reroutes records nothing and
+// its trace bytes stay identical to a build without routing control.
+func (s *ShardRecorder) Route(ev RouteEvent) {
+	if s == nil {
+		return
+	}
+	cap := s.r.cfg.RouteCap
+	if len(s.route) < cap {
+		s.route = append(s.route, ev)
+	} else {
+		s.route[s.routePos%int64(cap)] = ev
+	}
+	s.routePos++
+}
+
 // alloc reuses a recycled trace or makes one.
 func (s *ShardRecorder) alloc() *FlowTrace {
 	if n := len(s.free); n > 0 {
@@ -535,6 +605,16 @@ func ringCtrl(buf []CtrlSpan, pos int64, cap int) []CtrlSpan {
 	return append(out, buf[:at]...)
 }
 
+func ringRoute(buf []RouteEvent, pos int64, cap int) []RouteEvent {
+	if pos <= int64(len(buf)) {
+		return buf
+	}
+	at := int(pos % int64(cap))
+	out := make([]RouteEvent, 0, len(buf))
+	out = append(out, buf[at:]...)
+	return append(out, buf[:at]...)
+}
+
 // RunTrace is a run's merged flight recording in canonical order:
 // Flows by (End, Flow), Ctrl by (Start, Flow, side, level), Queue by
 // (At, Idx). The order — and therefore the exported bytes — is
@@ -545,6 +625,9 @@ type RunTrace struct {
 	Flows []*FlowTrace
 	Ctrl  []CtrlSpan
 	Queue []QueueSample
+	// Route holds the routing-control events in canonical
+	// (At, Rack, Kind, Spine, Arg) order; empty unless the run rerouted.
+	Route []RouteEvent
 	Stats TraceStats
 }
 
@@ -561,6 +644,7 @@ func (r *Recorder) Take() *RunTrace {
 		}
 		flows = append(flows, ringTraces(s.done, s.donePos, r.cfg.FlowCap)...)
 		rt.Ctrl = append(rt.Ctrl, ringCtrl(s.ctrl, s.ctrlPos, r.cfg.CtrlCap)...)
+		rt.Route = append(rt.Route, ringRoute(s.route, s.routePos, r.cfg.RouteCap)...)
 		rt.Stats.FlowsStarted += s.started
 		rt.Stats.FlowsSampledOut += s.sampledOut
 		rt.Stats.FlowsUnfinished += int64(len(s.live))
@@ -596,6 +680,25 @@ func (r *Recorder) Take() *RunTrace {
 	if len(rt.Ctrl) > r.cfg.CtrlCap {
 		rt.Ctrl = rt.Ctrl[len(rt.Ctrl)-r.cfg.CtrlCap:]
 	}
+	sort.Slice(rt.Route, func(i, j int) bool {
+		a, b := rt.Route[i], rt.Route[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Rack != b.Rack {
+			return a.Rack < b.Rack
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Spine != b.Spine {
+			return a.Spine < b.Spine
+		}
+		return a.Arg < b.Arg
+	})
+	if len(rt.Route) > r.cfg.RouteCap {
+		rt.Route = rt.Route[len(rt.Route)-r.cfg.RouteCap:]
+	}
 	st := &rt.Stats
 	st.FlowsFinal = int64(len(rt.Flows))
 	st.FlowsEvicted = st.FlowsStarted - st.FlowsSampledOut - st.FlowsUnfinished - st.FlowsFinal
@@ -612,7 +715,7 @@ func (r *Recorder) FinishSpill(rt *RunTrace) error {
 	if r.spill == nil {
 		panic("trace: FinishSpill without SpillTo")
 	}
-	return r.spill.Finish(rt.Ctrl, rt.Queue)
+	return r.spill.Finish(rt.Ctrl, rt.Queue, rt.Route)
 }
 
 // Digest folds the trace's canonical content into one FNV-1a hash —
@@ -664,6 +767,15 @@ func (rt *RunTrace) Digest() uint64 {
 		mix(int64(q.Idx))
 		mix(int64(q.Len))
 		mix(q.Bytes)
+	}
+	// Route events mix last: a run with none keeps the digest it had
+	// before routing control existed.
+	for _, r := range rt.Route {
+		mix(int64(r.At))
+		mix(int64(r.Rack))
+		mix(int64(r.Kind))
+		mix(int64(r.Spine))
+		mix(r.Arg)
 	}
 	return h
 }

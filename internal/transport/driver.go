@@ -93,12 +93,15 @@ type Driver struct {
 //	transport/timeouts      RTO firings
 //	transport/probes        PASE loss-discrimination probes sent
 //	transport/rate_updates  pacing-rate changes (SetRate calls)
+//	transport/aborts        flows the transport killed (deadline aborts,
+//	                        PDQ early termination)
 func (d *Driver) Instrument(reg *obs.Registry) {
 	o := stackObs{
 		retx:        reg.Counter("transport/retx"),
 		timeouts:    reg.Counter("transport/timeouts"),
 		probes:      reg.Counter("transport/probes"),
 		rateUpdates: reg.Counter("transport/rate_updates"),
+		aborts:      reg.Counter("transport/aborts"),
 	}
 	for _, st := range d.Stacks {
 		st.obs = o
@@ -116,6 +119,7 @@ func (d *Driver) InstrumentEach(regOf func(h pkt.NodeID) *obs.Registry) {
 			timeouts:    reg.Counter("transport/timeouts"),
 			probes:      reg.Counter("transport/probes"),
 			rateUpdates: reg.Counter("transport/rate_updates"),
+			aborts:      reg.Counter("transport/aborts"),
 		}
 	}
 }

@@ -89,6 +89,10 @@ type Sender struct {
 	rtoTimer     sim.Timer
 	paceTimer    sim.Timer
 
+	// lastProgress is the last instant a segment was newly acknowledged
+	// (flow start before any ACK); Stack.AbortAfter measures from it.
+	lastProgress sim.Time
+
 	// Retx counts retransmitted segments; Timeouts counts RTO firings.
 	Retx     int
 	Timeouts int
@@ -115,6 +119,7 @@ func newSender(st *Stack, spec workload.FlowSpec) *Sender {
 			retxQ:         s.retxQ[:0],
 			Cwnd:          1,
 			SSThresh:      1 << 20,
+			lastProgress:  st.Eng.Now(),
 		}
 		return s
 	}
@@ -126,6 +131,7 @@ func newSender(st *Stack, spec workload.FlowSpec) *Sender {
 		retransmitted: make([]bool, segs),
 		Cwnd:          1,
 		SSThresh:      1 << 20,
+		lastProgress:  st.Eng.Now(),
 	}
 }
 
@@ -443,6 +449,7 @@ func (s *Sender) onAck(p *pkt.Packet) {
 		// A long outage otherwise leaves the backoff pinned high and
 		// the first post-recovery loss waits out a multiplied RTO.
 		s.backoff = 0
+		s.lastProgress = s.Now()
 	}
 	if newly > 0 && advanced {
 		s.dupAcks = 0
@@ -526,6 +533,12 @@ func (s *Sender) onTimeout() {
 	if s.backoff < maxRTOBackoff {
 		s.backoff++
 	}
+	if s.st.AbortAfter > 0 && s.Now().Sub(s.lastProgress) >= s.st.AbortAfter {
+		// Progress deadline passed: kill the flow instead of retrying
+		// forever against (say) a blackholed path.
+		s.Abort()
+		return
+	}
 	if s.ctrl.OnTimeout(s) {
 		s.armRTO()
 		return
@@ -554,6 +567,7 @@ func (s *Sender) AbsorbProbeAck(p *pkt.Packet) {
 	if s.Done {
 		return
 	}
+	prevAcked := s.ackedCount
 	seq := p.SackSeq
 	if p.Have && seq >= 0 && seq < s.Segs {
 		if s.state[seq] != segAcked {
@@ -581,6 +595,9 @@ func (s *Sender) AbsorbProbeAck(p *pkt.Packet) {
 	}
 	for s.cumAck < s.Segs && s.state[s.cumAck] == segAcked {
 		s.cumAck++
+	}
+	if s.ackedCount > prevAcked {
+		s.lastProgress = s.Now()
 	}
 	if s.ackedCount >= s.Segs {
 		s.finish()

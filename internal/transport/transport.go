@@ -72,6 +72,12 @@ type Stack struct {
 	// BaseRTT estimates the propagation RTT to a destination; used to
 	// seed RTO and window computations before any sample exists.
 	BaseRTT func(dst pkt.NodeID) sim.Duration
+	// AbortAfter, when positive, kills any flow that has gone this long
+	// without forward progress (no segment newly acknowledged): the next
+	// RTO firing past the deadline aborts it instead of retrying
+	// forever. Aborted flows carry the Aborted mark in their record and
+	// are excluded from AFCT but reported in the Summary.
+	AbortAfter sim.Duration
 	// OnFlowDone, when set, is invoked after a flow completes.
 	OnFlowDone func(s *Sender)
 	// CtrlHandler, when set, receives arbitration control-plane
@@ -112,6 +118,7 @@ type stackObs struct {
 	timeouts    *obs.Counter
 	probes      *obs.Counter
 	rateUpdates *obs.Counter
+	aborts      *obs.Counter
 }
 
 // NewStack wires a Stack onto a host and installs its packet handler.
@@ -230,9 +237,12 @@ func (st *Stack) flowDone(s *Sender) {
 	st.recycle(s)
 }
 
-// flowAborted finalizes a killed flow: it is recorded as incomplete.
+// flowAborted finalizes a killed flow: it is recorded as incomplete
+// with the Aborted mark, so the Summary reports it separately from
+// flows the run merely cut off.
 func (st *Stack) flowAborted(s *Sender) {
 	delete(st.senders, s.Spec.ID)
+	st.obs.aborts.Inc()
 	if st.Collector != nil && !s.Spec.Background {
 		st.Collector.Add(metrics.FlowRecord{
 			ID:       uint64(s.Spec.ID),
@@ -241,6 +251,7 @@ func (st *Stack) flowAborted(s *Sender) {
 			Start:    s.Spec.Start,
 			Deadline: s.Spec.Deadline,
 			Done:     false,
+			Aborted:  true,
 			Retx:     s.Retx,
 			Timeouts: s.Timeouts,
 		})

@@ -47,6 +47,7 @@ import (
 	"pase/internal/experiments"
 	"pase/internal/faults"
 	"pase/internal/obs"
+	"pase/internal/route"
 	"pase/internal/sim"
 	"pase/internal/trace"
 )
@@ -123,6 +124,11 @@ const (
 	// ScenarioLeafSpineWide: a wider 8-leaf × 4-spine fabric (80 hosts)
 	// used by the sharded-engine benchmarks.
 	ScenarioLeafSpineWide Scenario = Scenario(experiments.LeafSpineWide)
+	// ScenarioTEFailover: a 4-leaf × 3-spine fabric (non-power-of-two
+	// spine count) for the routing-control-loop experiments — chaos
+	// plans down fabric links mid-run and the reactive reroute +
+	// hotspot-TE loop keeps flows alive.
+	ScenarioTEFailover Scenario = Scenario(experiments.TEFailover)
 	// ScenarioHighspeed10/40/100: extension — a 10/40/100 Gbps
 	// single-rack all-to-all with rate-scaled buffers and short link
 	// delays, the regime ExpressPass targets.
@@ -145,6 +151,7 @@ func Scenarios() []Scenario {
 	return []Scenario{ScenarioLeftRight, ScenarioIntraRack,
 		ScenarioIntraRackLarge, ScenarioWorkerAgg, ScenarioDeadline,
 		ScenarioTestbed, ScenarioLeafSpine, ScenarioLeafSpineWide,
+		ScenarioTEFailover,
 		ScenarioHighspeed10, ScenarioHighspeed40, ScenarioHighspeed100,
 		ScenarioHighspeedShallow, ScenarioIncast64, ScenarioIncast256}
 }
@@ -273,6 +280,24 @@ type SimConfig struct {
 	// topologies — silently fall back to the serial engine (the
 	// shard/fallback_serial counter records it when Obs is set).
 	Shards int
+	// Reroute enables failure rerouting on leaf-spine fabrics: link
+	// up/down events from the fault plan immediately rehash the
+	// affected ECMP buckets onto surviving spines (uplink failures at
+	// the source leaf; downlink failures propagated to every leaf). A
+	// no-op on tree fabrics and without a fault plan.
+	Reroute bool
+	// TE enables the periodic traffic-engineering loop on leaf-spine
+	// fabrics: every TEEpoch each leaf shifts its most-loaded ECMP
+	// bucket off the hottest uplink, with hysteresis and per-bucket
+	// dwell so routes do not flap.
+	TE bool
+	// TEEpoch overrides the TE decision period (0 = 1 ms).
+	TEEpoch time.Duration
+	// AbortAfter, when positive, makes every sender abort its flow
+	// after this long without forward progress (no new data
+	// acknowledged). Aborted flows are excluded from AFCT and counted
+	// in Report.Aborted. Zero disables aborts.
+	AbortAfter time.Duration
 	// PASE ablation switches (PASE protocol only).
 	PASE PASEOptions
 }
@@ -288,6 +313,9 @@ type Report struct {
 	// Flows and Completed count foreground flows.
 	Flows     int
 	Completed int
+	// Aborted counts flows the transport killed (progress-deadline
+	// aborts, PDQ early termination); they are excluded from AFCT.
+	Aborted int
 
 	AFCT time.Duration
 	P50  time.Duration
@@ -386,6 +414,7 @@ type FlowOutcome struct {
 	FCT      time.Duration
 	Deadline time.Duration // zero if none
 	Done     bool
+	Aborted  bool // the transport killed the flow
 	Retx     int
 	Timeouts int
 }
@@ -424,6 +453,12 @@ func pointConfig(cfg SimConfig) experiments.PointConfig {
 		Stream:    cfg.Stream,
 		SketchEps: cfg.SketchEps,
 		Shards:    cfg.Shards,
+		Route: route.Config{
+			Reroute: cfg.Reroute,
+			TE:      cfg.TE,
+			Epoch:   sim.Duration(cfg.TEEpoch),
+		},
+		AbortAfter: sim.Duration(cfg.AbortAfter),
 		Trace: experiments.TraceConfig{
 			FlowLog:       cfg.FlowTrace,
 			QueueSample:   sim.Duration(cfg.QueueTrace),
@@ -488,6 +523,7 @@ func report(r experiments.PointResult, includeFlowLog bool) *Report {
 	rep := &Report{
 		Flows:         r.Summary.Flows,
 		Completed:     r.Summary.Completed,
+		Aborted:       r.Summary.Aborted,
 		AFCT:          r.Summary.AFCT.Std(),
 		P50:           r.Summary.P50.Std(),
 		P99:           r.Summary.P99.Std(),
@@ -518,6 +554,7 @@ func report(r experiments.PointResult, includeFlowLog bool) *Report {
 				FCT:      rec.FCT().Std(),
 				Deadline: time.Duration(rec.Deadline),
 				Done:     rec.Done,
+				Aborted:  rec.Aborted,
 				Retx:     rec.Retx,
 				Timeouts: rec.Timeouts,
 			})
