@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"pase"
+	"pase/internal/core/arbitration"
 	"pase/internal/experiments"
+	"pase/internal/netem"
 	"pase/internal/pkt"
 	"pase/internal/route"
 	"pase/internal/sim"
@@ -64,6 +66,33 @@ type Snapshot struct {
 	// the te-failover point timed with the reroute+TE loop on versus
 	// off, so TE-epoch overhead shows up as a wall-clock delta.
 	TE *TEBench `json:"te,omitempty"`
+	// CtrlScale pins the arbitration control plane: an
+	// Arbitrator.Update micro-benchmark (the messages/sec ceiling of
+	// one arbitration book) plus one ctrlscale point per control-plane
+	// arm with its wall clock, control traffic and per-level mean
+	// control RTT.
+	CtrlScale *CtrlBench `json:"ctrlscale,omitempty"`
+}
+
+// CtrlBench is the arbitration control-plane cost record.
+type CtrlBench struct {
+	Flows         int       `json:"flows"`
+	Racks         int       `json:"racks"`
+	UpdateNsOp    float64   `json:"update_ns_per_op"`
+	UpdatesPerSec float64   `json:"updates_per_sec"`
+	Arms          []CtrlArm `json:"arms"`
+}
+
+// CtrlArm is one control-plane configuration's ctrlscale point.
+type CtrlArm struct {
+	Name         string  `json:"name"`
+	WallMS       float64 `json:"wall_ms"`
+	CtrlMessages int64   `json:"ctrl_messages"`
+	CtrlBytes    int64   `json:"ctrl_bytes"`
+	// LevelRTTNs[d] is the mean control round-trip observed at climb
+	// depth d (arb/rtt/level<d>), in nanoseconds; levels that saw no
+	// exchange are zero.
+	LevelRTTNs []float64 `json:"level_rtt_ns"`
 }
 
 // TEBench is the routing-control-loop cost record. FailoverNsOp is one
@@ -154,6 +183,8 @@ func main() {
 		shardcounts = flag.String("shardcounts", "2,4,8", "shard counts to time against the serial engine")
 		traceflows  = flag.Int("traceflows", 2000, "flows for the trace-on/off overhead point (0 disables the section)")
 		teflows     = flag.Int("teflows", 2000, "flows for the routing/TE control-loop overhead point (0 disables the section)")
+		ctrlflows   = flag.Int("ctrlflows", 400, "flows for the arbitration control-plane section (0 disables the section)")
+		ctrlracks   = flag.Int("ctrlracks", 64, "ctrlscale fabric size for the control-plane section")
 		out         = flag.String("out", "", "output file or directory (default BENCH_<date>.json in the working directory)")
 	)
 	flag.Parse()
@@ -230,6 +261,9 @@ func main() {
 	if *teflows > 0 {
 		snap.TE = benchTE(*teflows, 3)
 	}
+	if *ctrlflows > 0 {
+		snap.CtrlScale = benchCtrl(*ctrlflows, *ctrlracks)
+	}
 
 	path := *out
 	switch {
@@ -277,6 +311,76 @@ func main() {
 		fmt.Printf("te @ %d flows: off %.0f ms, on %.0f ms (%+.1f%% control-loop overhead), failover %.0f ns/op\n",
 			te.Flows, te.OffMS, te.OnMS, te.OverheadPct, te.FailoverNsOp)
 	}
+	if cb := snap.CtrlScale; cb != nil {
+		fmt.Printf("ctrl: arbitrator update %.0f ns/op (%.1fM updates/sec)\n",
+			cb.UpdateNsOp, cb.UpdatesPerSec/1e6)
+		for _, a := range cb.Arms {
+			fmt.Printf("ctrl %s @ %d racks, %d flows: %.0f ms wall, %d ctrl messages, %d KB ctrl bytes\n",
+				a.Name, cb.Racks, cb.Flows, a.WallMS, a.CtrlMessages, a.CtrlBytes>>10)
+		}
+	}
+}
+
+// benchCtrl micro-benchmarks one arbitration book's refresh rate —
+// the per-arbitrator messages/sec ceiling — then runs one ctrlscale
+// point per control-plane arm (multi-level hierarchy vs centralized)
+// and scrapes its control traffic and per-level mean control RTT.
+func benchCtrl(flows, racks int) *CtrlBench {
+	var now sim.Time
+	a := arbitration.NewArbitrator(0, 10*netem.Gbps, 8, 40*netem.Mbps,
+		300*sim.Microsecond, func() sim.Time { return now })
+	const book = 64
+	for i := 0; i < book; i++ {
+		a.Update(pkt.FlowID(i+1), int64(i), 100*netem.Mbps)
+	}
+	const iters = 500_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		now = now.Add(sim.Microsecond)
+		a.Update(pkt.FlowID(i%book+1), int64(i), 100*netem.Mbps)
+	}
+	nsOp := float64(time.Since(start).Nanoseconds()) / iters
+
+	cb := &CtrlBench{Flows: flows, Racks: racks,
+		UpdateNsOp: nsOp, UpdatesPerSec: 1e9 / nsOp}
+	arms := []struct {
+		name string
+		opt  experiments.PASEOptions
+	}{
+		{"hierarchy", experiments.PASEOptions{}},
+		{"central", experiments.PASEOptions{Central: true}},
+	}
+	for _, arm := range arms {
+		cfg := experiments.PointConfig{
+			Protocol: experiments.PASE,
+			Scenario: experiments.Scenario(fmt.Sprintf("%s-%d", experiments.CtrlScale, racks)),
+			Load:     0.6, Seed: 1, NumFlows: flows, Obs: true,
+			PASE: arm.opt,
+		}
+		wallStart := time.Now()
+		r := experiments.RunPoint(cfg)
+		rec := CtrlArm{
+			Name:   arm.name,
+			WallMS: float64(time.Since(wallStart).Microseconds()) / 1000,
+		}
+		if r.Obs != nil {
+			rec.CtrlMessages = r.Obs.Counters["arb/messages"]
+			rec.CtrlBytes = r.Obs.Counters["arb/bytes"]
+			for d := 0; ; d++ {
+				h, ok := r.Obs.Histograms[fmt.Sprintf("arb/rtt/level%d", d)]
+				if !ok {
+					break
+				}
+				mean := 0.0
+				if h.Count > 0 {
+					mean = float64(h.Sum) / float64(h.Count)
+				}
+				rec.LevelRTTNs = append(rec.LevelRTTNs, mean)
+			}
+		}
+		cb.Arms = append(cb.Arms, rec)
+	}
+	return cb
 }
 
 // benchTE times the fault-free te-failover point with the routing

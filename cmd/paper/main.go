@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		figID     = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing, task, leafspine, robust, scale, highspeed, te)")
+		figID     = flag.String("fig", "", "figure id to regenerate (1, 2, 3, 4, 9a..13b, probing, task, leafspine, robust, scale, highspeed, te, ctrlscale)")
 		all       = flag.Bool("all", false, "regenerate every figure")
 		list      = flag.Bool("list", false, "list the available figures")
 		flows     = flag.Int("flows", 2000, "foreground flows per simulation point")
@@ -50,6 +50,8 @@ func main() {
 		traceOn   = flag.Bool("trace", false, "attach the span flight recorder to every point; trace/* retention counters and arb/rtt/* histograms land in the manifest snapshot")
 		traceN    = flag.Int("trace-sample", 1, "with -trace, keep 1-in-N flow traces (violating/faulted flows always kept)")
 		scale     = flag.Int("scale", 0, "shortcut for the scale figure: -fig scale -stream with this many flows at the sweep top")
+		ctrl      = flag.String("ctrl", "", `restrict the ctrlscale figure's PASE arm: "hierarchy" or "central" (default: both arms)`)
+		racks     = flag.Int("racks", 0, "restrict the ctrlscale figure to one rack count (default: full 16..2048 sweep)")
 		progress  = flag.Bool("progress", true, "live progress meter on stderr")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -70,7 +72,8 @@ func main() {
 	}
 	opts := pase.FigureOpts{NumFlows: *flows, Seed: *seed, Seeds: *seeds,
 		Parallelism: *parallel, Obs: *obs, Check: *chkFlag, Stream: *stream,
-		Shards: *shards, Trace: *traceOn, TraceSampleN: *traceN}
+		Shards: *shards, Trace: *traceOn, TraceSampleN: *traceN,
+		Ctrl: *ctrl, Racks: *racks}
 	if *faultSpec != "" {
 		plan, err := pase.ParseFaults(*faultSpec)
 		if err != nil {

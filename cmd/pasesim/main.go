@@ -31,7 +31,7 @@ import (
 func main() {
 	var (
 		protocol  = flag.String("protocol", "PASE", "transport: DCTCP, D2TCP, L2DCT, pFabric, PDQ, PASE, ExpressPass")
-		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed, leaf-spine, leaf-spine-wide, te-failover, highspeed-10, highspeed-40, highspeed-100, highspeed-shallow, incast-64, incast-256")
+		scenario  = flag.String("scenario", "intra-rack", "scenario: left-right, intra-rack, intra-rack-large, worker-agg, deadline, testbed, leaf-spine, leaf-spine-wide, te-failover, highspeed-10, highspeed-40, highspeed-100, highspeed-shallow, incast-64, incast-256, ctrlscale[-<racks>]")
 		load      = flag.Float64("load", 0.7, "offered load in (0,1]")
 		flows     = flag.Int("flows", 2000, "number of foreground flows")
 		seed      = flag.Uint64("seed", 1, "workload seed")
@@ -44,6 +44,10 @@ func main() {
 		numQueues = flag.Int("queues", 0, "PASE: switch priority queues (default 8)")
 		noRefRate = flag.Bool("no-refrate", false, "PASE: ignore the reference rate (PASE-DCTCP)")
 		noProbing = flag.Bool("no-probing", false, "PASE: disable probe-based recovery")
+		ctrl      = flag.String("ctrl", "", `PASE control plane: "hierarchy" (default) or "central" (single-controller comparison arm)`)
+		racks     = flag.Int("racks", 0, "shortcut for -scenario ctrlscale-<racks>: the control-plane-at-scale fabric with this many racks")
+		fanOut    = flag.Int("hier-fanout", 0, "PASE: aggregation-tree fan-out of the deep arbitration hierarchy (0 = scenario default)")
+		shardsTop = flag.Int("hier-shards", 0, "PASE: replicated root shards of the deep arbitration hierarchy (0 = scenario default)")
 		flowLog   = flag.String("flowlog", "", "write the flow event trace (start/done/abort) as TSV to this file")
 		queueLog  = flag.String("queuetrace", "", "write sampled queue occupancies as TSV to this file")
 		queueInt  = flag.Duration("queueinterval", 100*time.Microsecond, "queue sampling interval for -queuetrace")
@@ -52,10 +56,10 @@ func main() {
 		traceSp   = flag.Bool("trace-spill", false, "stream the -trace output as flows complete (O(in-flight) memory; forces the serial engine)")
 		outcomes  = flag.String("outcomes", "", "write per-flow outcomes (size, fct, deadline, retx) as TSV to this file")
 		faultSpec = flag.String("faults", "", `fault-injection plan, e.g. "loss:link=*,class=data,rate=0.01; ctrl:drop=0.2"`)
-	reroute   = flag.Bool("reroute", false, "leaf-spine fabrics: reroute around failed fabric links (reacts to -faults link outages)")
-	teFlag    = flag.Bool("te", false, "leaf-spine fabrics: periodic traffic engineering, shifting hot ECMP buckets off loaded uplinks")
-	teEpoch   = flag.Duration("te-epoch", 0, "TE decision period (0 = 1ms default)")
-	abortAft  = flag.Duration("abort-after", 0, "abort flows making no forward progress for this long (0 = never; aborted flows are excluded from AFCT)")
+		reroute   = flag.Bool("reroute", false, "leaf-spine fabrics: reroute around failed fabric links (reacts to -faults link outages)")
+		teFlag    = flag.Bool("te", false, "leaf-spine fabrics: periodic traffic engineering, shifting hot ECMP buckets off loaded uplinks")
+		teEpoch   = flag.Duration("te-epoch", 0, "TE decision period (0 = 1ms default)")
+		abortAft  = flag.Duration("abort-after", 0, "abort flows making no forward progress for this long (0 = never; aborted flows are excluded from AFCT)")
 		stream    = flag.Bool("stream", false, "bounded-memory streaming run: iterator arrivals, recycled flow state, sketch quantiles")
 		shards    = flag.Int("shards", 0, "engine shards for the run (0/1 = serial; results and traces byte-identical at any setting; PASE/PDQ fall back to serial)")
 		scale     = flag.Int("scale", 0, "shortcut for a large streaming run: implies -stream with this many flows")
@@ -106,6 +110,8 @@ func main() {
 		FlowTrace:      *flowLog != "",
 		SpanTrace:      *traceOut != "",
 		TraceSampleN:   *traceN,
+		Ctrl:           *ctrl,
+		Racks:          *racks,
 		PASE: pase.PASEOptions{
 			LocalOnly:      *localOnly,
 			NoPruning:      *noPrune,
@@ -113,6 +119,8 @@ func main() {
 			NumQueues:      *numQueues,
 			DisableRefRate: *noRefRate,
 			DisableProbing: *noProbing,
+			HierFanOut:     *fanOut,
+			HierTopShards:  *shardsTop,
 		},
 	}
 	if *queueLog != "" || *traceOut != "" {

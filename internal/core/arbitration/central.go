@@ -1,0 +1,151 @@
+package arbitration
+
+import (
+	"pase/internal/netem"
+	"pase/internal/sim"
+)
+
+// CentralPerRequestDefault is the controller's per-request service
+// time when Params.CentralPerRequest is left zero: roughly what a
+// tuned single-box scheduler spends computing one whole-path
+// allocation (Shah & Xie report handling on the order of 10^6
+// allocations per second).
+const CentralPerRequestDefault = 1 * sim.Microsecond
+
+// central models the fully centralized comparison arm: one controller
+// seated behind the core computes whole-path allocations. Requests
+// serialize at the single box, so each carries the controller's
+// queueing delay on top of the propagation to it and back.
+type central struct {
+	perReq    sim.Duration
+	busyUntil sim.Time
+}
+
+// scheduleCentralSync charges the centralized arm its steady-state
+// bookkeeping: every epoch the controller refreshes fabric link state
+// (one update per directed link) and re-syncs every live allocation.
+// This is what makes central control bytes grow with fabric size even
+// at a fixed workload, while the hierarchy's distributed state needs
+// no such sweep.
+func (sys *System) scheduleCentralSync() {
+	sys.eng.Schedule(sys.P.Epoch, func() {
+		if sys.inflight > 0 {
+			n := int64(len(sys.net.Links)) + sys.inflight
+			sys.Stats.SyncMessages += n
+			sys.countMessages(n)
+		}
+		sys.scheduleCentralSync()
+	})
+}
+
+// refreshCentral asks the controller for a whole-path allocation in a
+// single exchange: one request climbs to the controller, every link
+// arbitrator on both halves of the path is consulted there, and one
+// response returns. No pruning and no delegation — the controller
+// needs full path state — and the exchange pays the serialization of
+// a single box on top of the longer round trip.
+func (c *Client) refreshCentral(key int64, demand netem.BitRate) {
+	sys := c.sys
+	ctr := sys.central
+	start := sys.eng.Now()
+	// The controller sits behind the core: the request travels the
+	// host's full upward hop count to reach it.
+	hops := len(c.upPath)
+	fi := sys.Faults
+	if fi != nil && fi.DropRequest() {
+		sys.o.reqDrop.Inc()
+		sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: true, Start: start, Outcome: CtrlReqDropped})
+		return
+	}
+
+	worst := Decision{Queue: 0, Rref: netem.BitRate(1 << 62)}
+	merge := func(h Decision) {
+		if h.Queue > worst.Queue {
+			worst.Queue = h.Queue
+		}
+		if h.Rref < worst.Rref {
+			worst.Rref = h.Rref
+		}
+	}
+	dead := false
+	for _, l := range c.upPath {
+		a := sys.arbs[l.ID]
+		if a.Down() {
+			dead = true
+			break
+		}
+		merge(a.Update(c.flow, key, demand))
+	}
+	if !dead {
+		for _, l := range c.downPath {
+			a := sys.arbs[l.ID]
+			if a.Down() {
+				dead = true
+				break
+			}
+			merge(a.Update(c.flow, key, demand))
+		}
+	}
+	sys.countClimb(hops)
+	if dead {
+		sys.o.dead.Inc()
+		sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: true, Level: hops, Start: start, Outcome: CtrlDeadArb})
+		return
+	}
+
+	// Controller serialization: the request arrives after the one-way
+	// propagation, waits for the box to drain earlier work, then holds
+	// it for the per-request service time.
+	arrive := start.Add(sim.Duration(hops) * sys.P.CtrlPerHop)
+	begin := arrive
+	if ctr.busyUntil > begin {
+		begin = ctr.busyUntil
+	}
+	ctr.busyUntil = begin.Add(ctr.perReq)
+	sys.o.centralQ.Observe(int64(begin.Sub(arrive)))
+	latency := ctr.busyUntil.Sub(start) + sim.Duration(hops)*sys.P.CtrlPerHop
+	if fi != nil {
+		if fi.DropResponse() {
+			sys.o.respDrop.Inc()
+			sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: true, Level: hops, Start: start, Outcome: CtrlRespDropped})
+			return
+		}
+		latency += fi.CtrlExtraDelay()
+	}
+	sys.o.rtt[sys.lvl(hops)].Observe(int64(latency))
+	sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: true, Level: hops, Start: start, Latency: latency, Outcome: CtrlOK})
+	result := worst
+	sys.eng.Schedule(latency, func() {
+		if c.released {
+			return
+		}
+		// One response covers the whole path: both halves land at once.
+		c.srcHalf, c.dstHalf = result, result
+		c.haveSrc, c.haveDst = true, true
+		if c.OnUpdate != nil {
+			c.OnUpdate()
+		}
+	})
+}
+
+// releaseCentral deregisters the flow from every path link in one
+// one-way message to the controller. A lost release cleans nothing —
+// the controller's leases expire the entries.
+func (c *Client) releaseCentral() {
+	sys := c.sys
+	lost := false
+	if fi := sys.Faults; fi != nil {
+		lost = fi.DropRequest()
+	}
+	if lost {
+		sys.countRelease(0)
+		return
+	}
+	for _, l := range c.upPath {
+		sys.arbs[l.ID].Remove(c.flow)
+	}
+	for _, l := range c.downPath {
+		sys.arbs[l.ID].Remove(c.flow)
+	}
+	sys.countRelease(len(c.upPath))
+}

@@ -33,6 +33,20 @@ type Params struct {
 	// CtrlPerHop is the one-way latency of one control-message hop
 	// (propagation + serialization + processing).
 	CtrlPerHop sim.Duration
+	// Hierarchy, when enabled, replaces the flat agg-core delegation
+	// with a configurable multi-level virtual aggregation tree (depth
+	// log_FanOut(racks)) so fabrics far wider than one aggregation
+	// tier still arbitrate in a handful of hops. The zero value keeps
+	// the classic 3-tier climb.
+	Hierarchy HierarchyParams
+	// Central switches the control plane to the fully centralized
+	// comparison arm: one controller behind the core computes
+	// whole-path allocations in a single serialized exchange
+	// (Hierarchy, delegation and pruning are ignored).
+	Central bool
+	// CentralPerRequest is the central controller's per-request
+	// service time (0 = CentralPerRequestDefault).
+	CentralPerRequest sim.Duration
 }
 
 // DefaultParams returns the paper's configuration.
@@ -62,6 +76,15 @@ type Stats struct {
 	// Pruned counts refreshes stopped by early pruning before
 	// reaching the next level.
 	Pruned int64
+	// Delegated counts climb stops resolved at a delegated virtual
+	// slice instead of the parent arbitrator.
+	Delegated int64
+	// PruneSavedMsgs counts the messages early pruning avoided
+	// (two per hop not climbed).
+	PruneSavedMsgs int64
+	// SyncMessages counts the centralized arm's per-epoch link-state
+	// and allocation re-sync messages (included in Messages).
+	SyncMessages int64
 }
 
 // ControlFaults lets a fault injector interfere with arbitration
@@ -110,6 +133,12 @@ type CtrlEvent struct {
 // (host→ToR→agg→core), so 4 leaves headroom.
 const CtrlLevels = 4
 
+// MaxCtrlLevels caps the per-level instruments when a deep hierarchy
+// is configured: a fan-out-4 tree over 2048 racks climbs 7 hops, so 8
+// covers every supported depth (deeper climbs clamp onto the last
+// level).
+const MaxCtrlLevels = 8
+
 // System is the fabric-wide arbitration control plane.
 type System struct {
 	P   Params
@@ -127,7 +156,9 @@ type System struct {
 	inflight int64 // live (not yet released) client allocations
 
 	o struct {
-		rtt      [CtrlLevels]*obs.Histogram
+		rtt      [MaxCtrlLevels]*obs.Histogram
+		msgs     [MaxCtrlLevels]*obs.Counter
+		centralQ *obs.Histogram
 		inflight *obs.Gauge
 		reqDrop  *obs.Counter
 		respDrop *obs.Counter
@@ -143,6 +174,15 @@ type System struct {
 	// children maps a delegated physical link ID to its per-rack
 	// virtual arbitrators, for share refresh.
 	children map[int][]*Arbitrator
+	// upTree/downTree, when Hierarchy is enabled, are the directional
+	// multi-level virtual aggregation trees that replace the flat
+	// delegation above the access links.
+	upTree, downTree *Tree
+	// central, when Central is set, is the single-controller arm.
+	central *central
+	// nlevels is how many per-level instruments this configuration
+	// can reach; deeper climbs clamp onto nlevels-1.
+	nlevels int
 
 	Stats Stats
 }
@@ -174,7 +214,42 @@ func NewSystem(net *topology.Network, p Params) *System {
 	for _, l := range net.Links {
 		sys.arbs[l.ID] = NewArbitrator(l.ID, l.Capacity(), p.NumQueues, baseRate, p.Epoch, clock)
 	}
-	if p.Delegation && len(net.Aggs) > 0 {
+	sys.nlevels = CtrlLevels
+	switch {
+	case p.Central:
+		sys.central = &central{perReq: p.CentralPerRequest}
+		if sys.central.perReq <= 0 {
+			sys.central.perReq = CentralPerRequestDefault
+		}
+		sys.scheduleCentralSync()
+	case p.Hierarchy.Enabled() && !p.LocalOnly && net.Cfg.Racks > 1 && len(net.Aggs) > 0:
+		// Deep hierarchy: two directional virtual aggregation trees
+		// sized from the fabric — a rack contributes its uplink-tier
+		// capacity, every aggregate is bounded by the core bisection.
+		var rackCap, topCap netem.BitRate
+		isAgg := make(map[netem.Node]bool, len(net.Aggs))
+		for _, a := range net.Aggs {
+			isAgg[a] = true
+		}
+		for _, l := range net.Links {
+			if l.Level == topology.LevelToRAgg && rackCap == 0 {
+				rackCap = l.Capacity()
+			}
+			if l.Level == topology.LevelAggCore && isAgg[l.From] {
+				topCap += l.Capacity()
+			}
+		}
+		racks := net.Cfg.Racks
+		sys.upTree = NewTree(p.Hierarchy, racks, rackCap, topCap, p.NumQueues, baseRate, p.Epoch, clock, TreeUpIDBase)
+		sys.downTree = NewTree(p.Hierarchy, racks, rackCap, topCap, p.NumQueues, baseRate, p.Epoch, clock, TreeDownIDBase)
+		sys.nlevels = sys.upTree.MaxDepth() + 1
+		if sys.nlevels > MaxCtrlLevels {
+			sys.nlevels = MaxCtrlLevels
+		}
+		if p.Delegation {
+			sys.scheduleTreeShareRefresh()
+		}
+	case p.Delegation && len(net.Aggs) > 0:
 		for _, l := range net.Links {
 			if l.Level != topology.LevelAggCore {
 				continue
@@ -270,9 +345,55 @@ func (sys *System) scheduleShareRefresh() {
 	})
 }
 
+// scheduleTreeShareRefresh periodically resizes the deep hierarchy's
+// delegated slices and root shards to demand — scheduleShareRefresh
+// generalized to every level pair.
+func (sys *System) scheduleTreeShareRefresh() {
+	sys.eng.Schedule(sys.P.Epoch, func() {
+		count := func(n int64) { sys.countMessages(n) }
+		sys.upTree.RefreshShares(sys.P.PruneQueues, count)
+		sys.downTree.RefreshShares(sys.P.PruneQueues, count)
+		sys.scheduleTreeShareRefresh()
+	})
+}
+
+// treeFor picks the directional tree a half-exchange climbs (nil when
+// the deep hierarchy is not configured).
+func (sys *System) treeFor(srcSide bool) *Tree {
+	if srcSide {
+		return sys.upTree
+	}
+	return sys.downTree
+}
+
 func (sys *System) countMessages(n int64) {
 	sys.Stats.Messages += n
 	sys.Stats.Bytes += n * pkt.CtrlSize
+}
+
+// countClimb charges one climb's request/response pair per hop and
+// attributes them to the per-level message counters.
+func (sys *System) countClimb(depth int) {
+	sys.countMessages(int64(2 * depth))
+	for d := 1; d <= depth; d++ {
+		sys.o.msgs[sys.lvl(d)].Add(2)
+	}
+}
+
+// countRelease charges a one-way release cascade of the given depth.
+func (sys *System) countRelease(hops int) {
+	sys.countMessages(int64(hops))
+	for d := 1; d <= hops; d++ {
+		sys.o.msgs[sys.lvl(d)].Add(1)
+	}
+}
+
+// lvl clamps a climb depth onto the registered per-level instruments.
+func (sys *System) lvl(d int) int {
+	if d >= sys.nlevels {
+		return sys.nlevels - 1
+	}
+	return d
 }
 
 // Instrument attaches control-plane observability to the system: the
@@ -282,8 +403,12 @@ func (sys *System) countMessages(n int64) {
 // outcome counters. A nil registry detaches (the default; every
 // instrument is nil-safe).
 func (sys *System) Instrument(reg *obs.Registry) {
-	for d := 0; d < CtrlLevels; d++ {
+	for d := 0; d < sys.nlevels; d++ {
 		sys.o.rtt[d] = reg.Histogram(fmt.Sprintf("arb/rtt/level%d", d))
+		sys.o.msgs[d] = reg.Counter(fmt.Sprintf("arb/msgs/level%d", d))
+	}
+	if sys.central != nil {
+		sys.o.centralQ = reg.Histogram("arb/central/queue_ns")
 	}
 	sys.o.inflight = reg.Gauge("arb/inflight_allocs")
 	sys.o.reqDrop = reg.Counter("arb/ctrl_req_dropped")
@@ -308,6 +433,10 @@ func (sys *System) AttachCheck(c *check.Checker) {
 	for _, va := range sys.virt {
 		va.AttachCheck(c)
 	}
+	if sys.upTree != nil {
+		sys.upTree.AttachCheck(c)
+		sys.downTree.AttachCheck(c)
+	}
 }
 
 // Crash wipes the soft state of the arbitrator owning the given link
@@ -321,6 +450,10 @@ func (sys *System) Crash(link int) {
 		}
 		for _, va := range sys.virt {
 			va.Crash()
+		}
+		if sys.upTree != nil {
+			sys.upTree.Crash()
+			sys.downTree.Crash()
 		}
 		return
 	}
@@ -343,6 +476,10 @@ func (sys *System) Restore(link int) {
 		for _, va := range sys.virt {
 			va.Restore()
 		}
+		if sys.upTree != nil {
+			sys.upTree.Restore()
+			sys.downTree.Restore()
+		}
 		return
 	}
 	if a := sys.arbs[link]; a != nil {
@@ -362,6 +499,14 @@ func (sys *System) Arbitrator(linkID int) *Arbitrator { return sys.arbs[linkID] 
 func (sys *System) VirtualArbitrator(linkID, rack int) *Arbitrator {
 	return sys.virt[virtKey{linkID, rack}]
 }
+
+// UpTree and DownTree expose the deep-hierarchy aggregation trees
+// (nil unless Params.Hierarchy is enabled on a multi-rack fabric).
+func (sys *System) UpTree() *Tree   { return sys.upTree }
+func (sys *System) DownTree() *Tree { return sys.downTree }
+
+// Centralized reports whether the system runs the centralized arm.
+func (sys *System) Centralized() bool { return sys.central != nil }
 
 // Client is the per-flow handle the PASE transport uses to obtain and
 // refresh its priority queue and reference rate.
@@ -435,6 +580,10 @@ func (c *Client) Refresh(key int64, demand netem.BitRate) {
 		return
 	}
 	c.sys.Stats.Refreshes++
+	if c.sys.central != nil {
+		c.refreshCentral(key, demand)
+		return
+	}
 	c.refreshHalf(key, demand, true)
 	c.refreshHalf(key, demand, false)
 }
@@ -491,44 +640,80 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 	depth := 0 // how many hops up the arbitration traveled
 	pruned := false
 	dead := false
-	for i, l := range links {
-		if i > 0 && p.LocalOnly {
-			break
-		}
-		if i > 0 && p.EarlyPruning && worst.Queue >= p.PruneQueues {
-			pruned = true
-			break
-		}
-		if p.Delegation && l.Level == topology.LevelAggCore {
-			// The ToR arbitrator (depth 1) owns a virtual slice; no
-			// extra hop.
-			va := sys.virt[virtKey{l.ID, rack}]
-			if va != nil {
-				if va.Down() {
+	if tr := sys.treeFor(srcSide); tr != nil && len(links) > 1 {
+		// Deep-hierarchy climb: the physical access link first, then
+		// the directional virtual aggregation tree toward the peer's
+		// rack, pruning before every step exactly like the flat walk.
+		a := sys.arbs[links[0].ID]
+		if a.Down() {
+			dead = true
+		} else {
+			merge(a.Update(c.flow, key, demand))
+			other := c.dst
+			if !srcSide {
+				other = c.src
+			}
+			steps := tr.ClimbPath(c.flow, rack, sys.net.RackOf(other), p.Delegation)
+			full := steps[len(steps)-1].depth
+			for _, st := range steps {
+				if p.EarlyPruning && worst.Queue >= p.PruneQueues {
+					pruned = true
+					sys.Stats.PruneSavedMsgs += int64(2 * (full - depth))
+					break
+				}
+				if st.arb.Down() {
 					dead = true
 					break
 				}
-				merge(va.Update(c.flow, key, demand))
-				continue
+				depth = st.depth
+				if st.delegated {
+					sys.Stats.Delegated++
+				}
+				merge(st.arb.Update(c.flow, key, demand))
 			}
 		}
-		a := sys.arbs[l.ID]
-		if a.Down() {
-			// The bottom-up chain breaks here: arbitrators below kept
-			// the update, the rest never hear of it, and no response
-			// comes back until the crashed arbitrator restarts.
-			dead = true
-			break
+	} else {
+		for i, l := range links {
+			if i > 0 && p.LocalOnly {
+				break
+			}
+			if i > 0 && p.EarlyPruning && worst.Queue >= p.PruneQueues {
+				pruned = true
+				sys.Stats.PruneSavedMsgs += int64(2 * (len(links) - 1 - depth))
+				break
+			}
+			if p.Delegation && l.Level == topology.LevelAggCore {
+				// The ToR arbitrator (depth 1) owns a virtual slice; no
+				// extra hop.
+				va := sys.virt[virtKey{l.ID, rack}]
+				if va != nil {
+					if va.Down() {
+						dead = true
+						break
+					}
+					sys.Stats.Delegated++
+					merge(va.Update(c.flow, key, demand))
+					continue
+				}
+			}
+			a := sys.arbs[l.ID]
+			if a.Down() {
+				// The bottom-up chain breaks here: arbitrators below kept
+				// the update, the rest never hear of it, and no response
+				// comes back until the crashed arbitrator restarts.
+				dead = true
+				break
+			}
+			if i > 0 {
+				depth = i // host->ToR is hop 1, ToR->agg hop 2
+			}
+			merge(a.Update(c.flow, key, demand))
 		}
-		if i > 0 {
-			depth = i // host->ToR is hop 1, ToR->agg hop 2
-		}
-		merge(a.Update(c.flow, key, demand))
 	}
 	if pruned {
 		sys.Stats.Pruned++
 	}
-	sys.countMessages(int64(2 * depth))
+	sys.countClimb(depth)
 	if dead {
 		sys.o.dead.Inc()
 		sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: srcSide, Level: depth, Start: start, Outcome: CtrlDeadArb})
@@ -550,11 +735,7 @@ func (c *Client) refreshHalf(key int64, demand netem.BitRate, srcSide bool) {
 		}
 		latency += fi.CtrlExtraDelay()
 	}
-	lvl := depth
-	if lvl >= CtrlLevels {
-		lvl = CtrlLevels - 1
-	}
-	sys.o.rtt[lvl].Observe(int64(latency))
+	sys.o.rtt[sys.lvl(depth)].Observe(int64(latency))
 	sys.emitCtrl(CtrlEvent{Flow: c.flow, SrcSide: srcSide, Level: depth, Start: start, Latency: latency, Outcome: CtrlOK})
 	result := worst
 	sys.eng.Schedule(latency, func() {
@@ -583,6 +764,10 @@ func (c *Client) Release() {
 	c.sys.Stats.Releases++
 	c.sys.inflight--
 	c.sys.o.inflight.Update(c.sys.inflight)
+	if c.sys.central != nil {
+		c.releaseCentral()
+		return
+	}
 	remove := func(links []*topology.Link, leaf pkt.NodeID, localFirst bool) {
 		rack := c.sys.net.RackOf(leaf)
 		// Releases are one-way and unacknowledged; a lost one leaves
@@ -598,20 +783,39 @@ func (c *Client) Release() {
 			lost = n > 0 && fi.DropRequest()
 		}
 		hops := 0
-		for i, l := range links {
-			if lost && !(localFirst && i == 0) {
-				continue
+		if tr := c.sys.treeFor(localFirst); tr != nil && len(links) > 1 {
+			// Deep hierarchy: the release mirrors the climb path, so
+			// every arbitrator a refresh could have registered with is
+			// cleaned (localFirst == srcSide for both halves).
+			if !lost || localFirst {
+				c.sys.arbs[links[0].ID].Remove(c.flow)
 			}
-			if va := c.sys.virt[virtKey{l.ID, rack}]; c.sys.P.Delegation && l.Level == topology.LevelAggCore && va != nil {
-				va.Remove(c.flow)
-				continue
+			if !lost {
+				other := c.dst
+				if leaf == c.dst {
+					other = c.src
+				}
+				for _, st := range tr.ClimbPath(c.flow, rack, c.sys.net.RackOf(other), c.sys.P.Delegation) {
+					st.arb.Remove(c.flow)
+					hops = st.depth
+				}
 			}
-			if i > 0 {
-				hops = i
+		} else {
+			for i, l := range links {
+				if lost && !(localFirst && i == 0) {
+					continue
+				}
+				if va := c.sys.virt[virtKey{l.ID, rack}]; c.sys.P.Delegation && l.Level == topology.LevelAggCore && va != nil {
+					va.Remove(c.flow)
+					continue
+				}
+				if i > 0 {
+					hops = i
+				}
+				c.sys.arbs[l.ID].Remove(c.flow)
 			}
-			c.sys.arbs[l.ID].Remove(c.flow)
 		}
-		c.sys.countMessages(int64(hops))
+		c.sys.countRelease(hops)
 	}
 	remove(c.upPath, c.src, true)
 	rev := make([]*topology.Link, len(c.downPath))

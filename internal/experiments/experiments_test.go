@@ -257,8 +257,8 @@ func TestCDFOutputs(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Figures) != 23 {
-		t.Fatalf("registry has %d figures, want 23", len(Figures))
+	if len(Figures) != 24 {
+		t.Fatalf("registry has %d figures, want 24", len(Figures))
 	}
 	if _, ok := Lookup("9a"); !ok {
 		t.Fatal("figure 9a missing")

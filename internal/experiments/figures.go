@@ -7,6 +7,7 @@ import (
 
 	"pase/internal/faults"
 	"pase/internal/metrics"
+	"pase/internal/netem"
 	"pase/internal/obs"
 	"pase/internal/route"
 	"pase/internal/sim"
@@ -71,6 +72,14 @@ type Opts struct {
 	// snapshot. Spill writers are rejected here: points run
 	// concurrently and a single writer cannot be shared.
 	Trace TraceConfig
+	// Ctrl forces every PASE point onto one control plane: "central"
+	// swaps in the single-controller arm, "" (or "hierarchy") keeps
+	// the default arbitration hierarchy. Figures that sweep both arms
+	// themselves (ctrlscale) clear it.
+	Ctrl string
+	// Racks caps the ctrlscale figure's rack sweep (0 = the full
+	// 16 → 2048 sweep). Other figures ignore it.
+	Racks int
 }
 
 func (o Opts) seeds() int {
@@ -238,6 +247,7 @@ var Figures = []Figure{
 	{ID: "scale", Title: "Extension: streaming million-flow scale sweep (leaf-spine)", Run: figScale},
 	{ID: "highspeed", Title: "Extension: ExpressPass vs PASE vs DCTCP on high-speed links", Run: figHighspeed},
 	{ID: "te", Title: "Robustness: reactive rerouting + hotspot TE under fabric-link failures (te-failover)", Run: figTE},
+	{ID: "ctrlscale", Title: "Extension: control plane at datacenter scale — arbitration hierarchy vs centralized", Run: figCtrlScale},
 }
 
 // Lookup returns the figure with the given ID.
@@ -799,6 +809,141 @@ func figHighspeed(o Opts) *Result {
 			incastLoad*100, ep.Queues.DroppedData, ep.Queues.MaxLen, dc.Queues.DroppedData, dc.Queues.MaxLen),
 		fmt.Sprintf("rate sweep at %.0f%% offered load; credit shaping keeps the data queue bounded with no data-plane drops", load*100))
 	ex.fill(res)
+	return res
+}
+
+// figCtrlScale sweeps the ctrlscale fabric from 16 to 2048 racks with
+// the same fixed aggregate workload and puts PASE's two control
+// planes side by side: the deep arbitration hierarchy (fan-out-4
+// virtual aggregation tree, sharded root, delegation + early pruning)
+// against the fully centralized single-controller arm. Per rack count
+// and arm it reports AFCT and total control bytes; the notes quantify
+// the scaling claim — hierarchy control traffic grows sub-linearly in
+// rack count (pruning resolves most refreshes low in the tree) while
+// the centralized arm's per-epoch link-state sync grows with the
+// fabric — plus delegation/pruning effectiveness and the controller's
+// queueing delay.
+//
+// o.Loads[0] (default 0.6) fixes the offered load; o.Racks caps the
+// sweep (the ctrlscale-smoke target runs a single 512-rack point).
+func figCtrlScale(o Opts) *Result {
+	// The figure defines both arms itself; a grid-level -ctrl override
+	// would corrupt the hierarchy arm. Honour it here as an arm filter
+	// instead.
+	armFilter := o.Ctrl
+	o.Ctrl = ""
+	load := 0.6
+	if len(o.Loads) > 0 {
+		load = o.Loads[0]
+	}
+	flows := o.NumFlows
+	if flows <= 0 {
+		flows = 400
+	}
+	rackCounts := []int{16, 64, 256, 1024, 2048}
+	if o.Racks > 0 {
+		kept := rackCounts[:0]
+		for _, rc := range rackCounts {
+			if rc <= o.Racks {
+				kept = append(kept, rc)
+			}
+		}
+		if len(kept) == 0 || kept[len(kept)-1] != o.Racks {
+			kept = append(kept, o.Racks)
+		}
+		rackCounts = kept
+	}
+	arms := []struct {
+		name string
+		opt  PASEOptions
+	}{
+		{"hierarchy", PASEOptions{}},
+		{"central", PASEOptions{Central: true}},
+	}
+	if armFilter != "" {
+		kept := arms[:0]
+		for _, a := range arms {
+			if a.name == armFilter {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) > 0 {
+			arms = kept
+		}
+	}
+	cfgs := make([]PointConfig, 0, len(arms)*len(rackCounts))
+	for _, a := range arms {
+		for _, rc := range rackCounts {
+			// Obs per point: the control-cost series and the
+			// effectiveness notes read each point's own counters.
+			cfgs = append(cfgs, PointConfig{Protocol: PASE,
+				Scenario: Scenario(fmt.Sprintf("%s-%d", CtrlScale, rc)),
+				Load:     load, Seed: o.Seed, NumFlows: flows, Obs: true,
+				PASE: a.opt})
+		}
+	}
+	ex := newPointExtras(len(cfgs))
+	rs := make([]PointResult, len(cfgs))
+	forEachPoint(cfgs, o, func(i int, r PointResult) {
+		rs[i] = r
+		ex.observe(i, r)
+	})
+	res := &Result{
+		ID: "ctrlscale", Title: "Control plane at datacenter scale: hierarchy vs centralized (extension)",
+		XLabel: "Racks", YLabel: "AFCT (ms) / ctrl MB",
+	}
+	ctr := func(r PointResult, name string) int64 {
+		if r.Obs == nil {
+			return 0
+		}
+		return r.Obs.Counters[name]
+	}
+	idx := 0
+	for _, a := range arms {
+		afct := Series{Name: a.name + " AFCT"}
+		ctrl := Series{Name: a.name + " ctrl MB"}
+		var first, last PointResult
+		for j, rc := range rackCounts {
+			r := rs[idx]
+			idx++
+			afct.X = append(afct.X, float64(rc))
+			afct.Y = append(afct.Y, r.Summary.AFCT.Millis())
+			ctrl.X = append(ctrl.X, float64(rc))
+			ctrl.Y = append(ctrl.Y, float64(ctr(r, "ctrl/bytes"))/1e6)
+			if j == 0 {
+				first = r
+			}
+			last = r
+		}
+		res.Series = append(res.Series, afct, ctrl)
+		growth := 0.0
+		if b := ctr(first, "ctrl/bytes"); b > 0 {
+			growth = float64(ctr(last, "ctrl/bytes")) / float64(b)
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: ctrl bytes ×%.2f as racks ×%d (%d → %d messages)",
+			a.name, growth, rackCounts[len(rackCounts)-1]/rackCounts[0],
+			rs[idx-len(rackCounts)].CtrlMessages, last.CtrlMessages))
+		if a.name == "hierarchy" {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"hierarchy at %d racks: %d refreshes pruned early (saving %d messages), %d delegated-slice stops",
+				rackCounts[len(rackCounts)-1], ctr(last, "arb/pruned"),
+				ctr(last, "arb/prune_saved_msgs"), ctr(last, "arb/delegated")))
+		} else if last.Obs != nil {
+			q := last.Obs.Histograms["arb/central/queue_ns"]
+			mean := int64(0)
+			if q.Count > 0 {
+				mean = q.Sum / q.Count
+			}
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"central at %d racks: %d sync messages, mean controller queueing %d ns",
+				rackCounts[len(rackCounts)-1], ctr(last, "arb/sync_messages"), mean))
+		}
+	}
+	ex.fill(res)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"fixed %v aggregate workload at %.0f%% load, %d flows per point; per-level message counts and RTTs: arb/msgs/level* and arb/rtt/level* in the run manifest",
+		netem.BitRate(CtrlScaleReference), load*100, flows))
 	return res
 }
 

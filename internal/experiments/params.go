@@ -124,6 +124,23 @@ const (
 	TEAbortAfter   = 100 * sim.Millisecond
 )
 
+// ctrlscale (control-plane-at-scale) scenario parameters: two-host
+// racks keep the fabric cheap to build at 2048 racks, aggregation
+// groups of eight racks mirror real pod sizes (shrunk to the largest
+// divisor for odd rack counts), and PASE's deep hierarchy defaults to
+// a fan-out-4 tree with a two-way sharded root. The reference rate is
+// deliberately FIXED across the sweep: the same aggregate workload
+// spread over a growing fabric isolates control-plane cost from
+// data-plane load.
+const (
+	CtrlScaleDefaultRacks = 64
+	CtrlScaleHostsPerRack = 2
+	CtrlScaleRacksPerAgg  = 8
+	CtrlScaleFanOut       = 4
+	CtrlScaleTopShards    = 2
+	CtrlScaleReference    = 32 * netem.Gbps
+)
+
 // reference capacities for offered load.
 func intraRackReference(hosts int) netem.BitRate {
 	return netem.BitRate(hosts) * netem.Gbps

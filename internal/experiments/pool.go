@@ -22,10 +22,13 @@ import (
 // observability for every point; o.Progress (if set) is called after
 // each point completes, possibly from a worker goroutine.
 func forEachPoint(cfgs []PointConfig, o Opts, fn func(i int, r PointResult)) {
-	if o.Obs || o.Check || o.Faults != nil || o.Stream || o.Shards > 1 || o.Trace.Enabled() {
+	if o.Obs || o.Check || o.Faults != nil || o.Stream || o.Shards > 1 || o.Trace.Enabled() || o.Ctrl == "central" {
 		for i := range cfgs {
 			cfgs[i].Obs = cfgs[i].Obs || o.Obs
 			cfgs[i].Check = cfgs[i].Check || o.Check
+			if o.Ctrl == "central" && cfgs[i].Protocol == PASE {
+				cfgs[i].PASE.Central = true
+			}
 			if cfgs[i].Faults == nil {
 				cfgs[i].Faults = o.Faults
 			}

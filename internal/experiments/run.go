@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"pase/internal/check"
 	"pase/internal/core"
@@ -94,6 +96,14 @@ const (
 	HighspeedShallow Scenario = "highspeed-shallow"
 	Incast64         Scenario = "incast-64"
 	Incast256        Scenario = "incast-256"
+	// CtrlScale is the control-plane-at-scale family: "ctrlscale" is
+	// the 64-rack default and "ctrlscale-<racks>" picks the rack count
+	// (the ctrlscale figure sweeps 16 → 2048). A fixed aggregate
+	// workload spreads all-to-all over a growing fabric, so the data
+	// plane's job stays comparable while the control plane's span
+	// grows — the axis the figure measures. PASE runs the deep
+	// hierarchy here by default (fan-out 4, sharded root).
+	CtrlScale Scenario = "ctrlscale"
 )
 
 // PASEOptions select PASE ablations.
@@ -108,6 +118,15 @@ type PASEOptions struct {
 	// TaskAware swaps the scheduling criterion from remaining size to
 	// task id for task-carrying flows (Baraat-style; §3.1.1).
 	TaskAware bool
+	// Central swaps the arbitration hierarchy for the fully
+	// centralized comparison arm (one controller computes whole-path
+	// allocations; hierarchy, delegation and pruning are ignored).
+	Central bool
+	// HierFanOut / HierTopShards override the scenario's deep-
+	// hierarchy shape (0 = keep the scenario default; most scenarios
+	// default to the classic flat 3-tier climb).
+	HierFanOut    int
+	HierTopShards int
 }
 
 // TraceConfig selects optional per-point tracing.
@@ -249,6 +268,9 @@ type scenarioSpec struct {
 	markK     int // ECN threshold
 	qSize     int // DCTCP-family / PASE buffer scale
 	epoch     sim.Duration
+	// hier is the deep arbitration hierarchy PASE uses on this
+	// scenario (zero = classic flat 3-tier climb).
+	hier arbitration.HierarchyParams
 }
 
 // teFailoverLS is the te-failover fabric: DefaultLeafSpine widened to
@@ -261,6 +283,9 @@ func teFailoverLS() topology.LeafSpineConfig {
 }
 
 func scenario(s Scenario) scenarioSpec {
+	if racks := ctrlScaleRacks(s); racks > 0 {
+		return ctrlScaleSpec(racks)
+	}
 	switch s {
 	case LeftRight:
 		return scenarioSpec{
@@ -409,6 +434,66 @@ func highspeedSpec(rate netem.BitRate, hosts, qSize, markK int) scenarioSpec {
 		markK:     markK,
 		qSize:     qSize,
 		epoch:     100 * sim.Microsecond,
+	}
+}
+
+// CtrlScaleRacksOf reports the rack count a ctrlscale-family scenario
+// names (0 when s is not in the family) — the façade uses it to
+// validate parametric scenario names.
+func CtrlScaleRacksOf(s Scenario) int { return ctrlScaleRacks(s) }
+
+// ctrlScaleRacks parses the ctrlscale scenario family: "ctrlscale"
+// (the default rack count) or "ctrlscale-<racks>". 0 means s is not
+// in the family.
+func ctrlScaleRacks(s Scenario) int {
+	if s == CtrlScale {
+		return CtrlScaleDefaultRacks
+	}
+	rest, ok := strings.CutPrefix(string(s), string(CtrlScale)+"-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+// ctrlScaleSpec builds the rack-count-parametric fabric the ctrlscale
+// figure sweeps: small two-host racks under up to eight-rack
+// aggregation groups, the interactive short-flow deadline mix, and a
+// fixed aggregate reference rate, so arrivals stay comparable while
+// the fabric — and with it the control plane's reach — grows.
+func ctrlScaleSpec(racks int) scenarioSpec {
+	rpa := CtrlScaleRacksPerAgg
+	if rpa > racks {
+		rpa = racks
+	}
+	for racks%rpa != 0 {
+		rpa--
+	}
+	hosts := racks * CtrlScaleHostsPerRack
+	return scenarioSpec{
+		topo: func(nq func(topology.QueueKind) netem.Queue) topology.Config {
+			return topology.Config{
+				Racks: racks, HostsPerRack: CtrlScaleHostsPerRack, RacksPerAgg: rpa,
+				EdgeRate: netem.Gbps, FabricRate: 10 * netem.Gbps,
+				LinkDelay: HighspeedLinkDelay,
+				NewQueue:  nq,
+			}
+		},
+		pattern: func(n *topology.Network) workload.Pattern {
+			return workload.AllToAll{Hosts: workload.HostRange(0, hosts)}
+		},
+		sizes:     workload.UniformSize{Min: ShortFlowMin, Max: ShortFlowMax},
+		reference: CtrlScaleReference,
+		deadlines: true,
+		bgFlows:   BackgroundFlows,
+		markK:     MarkingThreshold,
+		qSize:     DCTCPQueueSize,
+		epoch:     200 * sim.Microsecond,
+		hier:      arbitration.HierarchyParams{FanOut: CtrlScaleFanOut, TopShards: CtrlScaleTopShards},
 	}
 }
 
@@ -669,6 +754,17 @@ func runPointSerial(cfg PointConfig, fallback string) PointResult {
 		p.LocalOnly = cfg.PASE.LocalOnly
 		p.EarlyPruning = !cfg.PASE.NoPruning
 		p.Delegation = !cfg.PASE.NoDelegation
+		p.Hierarchy = sp.hier
+		if cfg.PASE.HierFanOut > 0 {
+			p.Hierarchy.FanOut = cfg.PASE.HierFanOut
+		}
+		if cfg.PASE.HierTopShards > 0 {
+			p.Hierarchy.TopShards = cfg.PASE.HierTopShards
+		}
+		if cfg.PASE.Central {
+			p.Central = true
+			p.Hierarchy = arbitration.HierarchyParams{}
+		}
 		ec := DefaultPASEEndhost()
 		ec.UseRefRate = !cfg.PASE.DisableRefRate
 		ec.Probing = !cfg.PASE.DisableProbing
@@ -902,6 +998,9 @@ func scrapeRun(reg *obs.Registry, eng *sim.Engine, net *topology.Network,
 		reg.Counter("arb/refreshes").Add(paseSys.Stats.Refreshes)
 		reg.Counter("arb/releases").Add(paseSys.Stats.Releases)
 		reg.Counter("arb/pruned").Add(paseSys.Stats.Pruned)
+		reg.Counter("arb/delegated").Add(paseSys.Stats.Delegated)
+		reg.Counter("arb/prune_saved_msgs").Add(paseSys.Stats.PruneSavedMsgs)
+		reg.Counter("arb/sync_messages").Add(paseSys.Stats.SyncMessages)
 		// Unified control-overhead axis: the same counters ExpressPass
 		// feeds from its credit plane, so figures can compare the two
 		// control planes on one scale.

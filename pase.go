@@ -144,6 +144,14 @@ const (
 	// transports must drop; credit-based ones must not.
 	ScenarioIncast64  Scenario = Scenario(experiments.Incast64)
 	ScenarioIncast256 Scenario = Scenario(experiments.Incast256)
+	// ScenarioCtrlScale: extension — the control-plane-at-scale
+	// family. "ctrlscale" is a 64-rack fabric; "ctrlscale-<racks>"
+	// picks any rack count (the ctrlscale figure sweeps 16 → 2048). A
+	// fixed aggregate interactive workload spreads over the growing
+	// fabric, and PASE defaults to the deep arbitration hierarchy
+	// (fan-out-4 tree, sharded root). SimConfig.Racks / the -racks
+	// flag are shorthand for picking a family member.
+	ScenarioCtrlScale Scenario = Scenario(experiments.CtrlScale)
 )
 
 // Scenarios lists every available scenario.
@@ -153,7 +161,8 @@ func Scenarios() []Scenario {
 		ScenarioTestbed, ScenarioLeafSpine, ScenarioLeafSpineWide,
 		ScenarioTEFailover,
 		ScenarioHighspeed10, ScenarioHighspeed40, ScenarioHighspeed100,
-		ScenarioHighspeedShallow, ScenarioIncast64, ScenarioIncast256}
+		ScenarioHighspeedShallow, ScenarioIncast64, ScenarioIncast256,
+		ScenarioCtrlScale}
 }
 
 // PASEOptions toggle PASE's internal mechanisms (ablations).
@@ -177,6 +186,19 @@ type PASEOptions struct {
 	// instead of shortest-remaining-first (Baraat-style task-aware
 	// scheduling, the alternative criterion §3.1.1 names).
 	TaskAware bool
+	// Central swaps PASE's arbitration hierarchy for the fully
+	// centralized comparison arm: one controller behind the core
+	// computes whole-path allocations in a single serialized exchange
+	// (Shah & Xie-style). Hierarchy, delegation and pruning are
+	// ignored. SimConfig.Ctrl = "central" sets this too.
+	Central bool
+	// HierFanOut / HierTopShards override the deep arbitration
+	// hierarchy's shape — the aggregation-tree fan-out and the number
+	// of replicated root shards (0 = scenario default; most scenarios
+	// default to the classic flat 3-tier climb, ctrlscale to fan-out 4
+	// with 2 root shards).
+	HierFanOut    int
+	HierTopShards int
 }
 
 // FaultPlan is a deterministic fault-injection schedule: link
@@ -298,6 +320,14 @@ type SimConfig struct {
 	// acknowledged). Aborted flows are excluded from AFCT and counted
 	// in Report.Aborted. Zero disables aborts.
 	AbortAfter time.Duration
+	// Ctrl picks the control-plane arm for PASE runs: "" or
+	// "hierarchy" (the default distributed arbitration hierarchy) or
+	// "central" (the single-controller comparison arm).
+	Ctrl string
+	// Racks, when positive, is shorthand for Scenario =
+	// "ctrlscale-<Racks>": the control-plane-at-scale fabric with that
+	// many racks.
+	Racks int
 	// PASE ablation switches (PASE protocol only).
 	PASE PASEOptions
 }
@@ -427,14 +457,25 @@ func normalize(cfg SimConfig) (SimConfig, error) {
 	if cfg.Protocol == "" {
 		cfg.Protocol = ProtocolPASE
 	}
+	if cfg.Racks > 0 {
+		cfg.Scenario = Scenario(fmt.Sprintf("%s-%d", experiments.CtrlScale, cfg.Racks))
+	}
 	if cfg.Scenario == "" {
 		cfg.Scenario = ScenarioIntraRack
 	}
 	if !valid(string(cfg.Protocol), protocolNames()) {
 		return cfg, fmt.Errorf("pase: unknown protocol %q", cfg.Protocol)
 	}
-	if !valid(string(cfg.Scenario), scenarioNames()) {
+	if !valid(string(cfg.Scenario), scenarioNames()) &&
+		experiments.CtrlScaleRacksOf(experiments.Scenario(cfg.Scenario)) == 0 {
 		return cfg, fmt.Errorf("pase: unknown scenario %q", cfg.Scenario)
+	}
+	switch cfg.Ctrl {
+	case "", "hierarchy":
+	case "central":
+		cfg.PASE.Central = true
+	default:
+		return cfg, fmt.Errorf("pase: unknown control plane %q (want \"hierarchy\" or \"central\")", cfg.Ctrl)
 	}
 	return cfg, nil
 }
@@ -476,6 +517,9 @@ func pointConfig(cfg SimConfig) experiments.PointConfig {
 			DisableProbing: cfg.PASE.DisableProbing,
 			NoReorderGuard: cfg.PASE.NoReorderGuard,
 			TaskAware:      cfg.PASE.TaskAware,
+			Central:        cfg.PASE.Central,
+			HierFanOut:     cfg.PASE.HierFanOut,
+			HierTopShards:  cfg.PASE.HierTopShards,
 		},
 	}
 }
@@ -648,6 +692,14 @@ type FigureOpts struct {
 	// TraceSampleN keeps 1-in-N flow traces when Trace is set (0 or
 	// 1 = every flow). Violating or faulted flows are always kept.
 	TraceSampleN int
+	// Ctrl forces every PASE point of the figure onto one control
+	// plane: "central" runs the single-controller arm, "" or
+	// "hierarchy" the default arbitration hierarchy. Figures that
+	// sweep both arms themselves (ctrlscale) ignore it.
+	Ctrl string
+	// Racks caps the ctrlscale figure's rack sweep (0 = the full
+	// 16 → 2048 sweep). Other figures ignore it.
+	Racks int
 }
 
 // expOpts maps the public options onto the experiment runner's.
@@ -656,6 +708,7 @@ func expOpts(o FigureOpts) experiments.Opts {
 		Loads: o.Loads, Parallelism: o.Parallelism, Obs: o.Obs, Check: o.Check,
 		Faults: o.Faults, Progress: o.Progress,
 		Stream: o.Stream, SketchEps: o.SketchEps, Shards: o.Shards,
+		Ctrl: o.Ctrl, Racks: o.Racks,
 		Trace: experiments.TraceConfig{Spans: o.Trace, SampleN: o.TraceSampleN}}
 }
 

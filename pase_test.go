@@ -72,8 +72,8 @@ func TestEveryProtocolEveryScenarioSmoke(t *testing.T) {
 
 func TestListFiguresAndRun(t *testing.T) {
 	figs := pase.ListFigures()
-	if len(figs) != 23 {
-		t.Fatalf("got %d figures, want 23", len(figs))
+	if len(figs) != 24 {
+		t.Fatalf("got %d figures, want 24", len(figs))
 	}
 	if _, err := pase.RunFigure("bogus", pase.FigureOpts{}); err == nil {
 		t.Fatal("unknown figure must error")
